@@ -1,0 +1,56 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These do not correspond to a numbered table/figure in the paper; they justify
+two ingredients the paper argues for qualitatively:
+
+* **Monitor invariants matter** (§2, §5): placement with ``I = true`` keeps
+  more notifications (extra signals/broadcasts) than placement with the
+  inferred invariant.
+* **The §4.3 commutativity improvement matters**: disabling it reintroduces
+  broadcasts on producer/consumer monitors such as BoundedBuffer and
+  ConcurrencyThrottle.
+
+Both are measured as compilation runs whose placement statistics are attached
+as ``extra_info`` so the ablation effect is visible in the benchmark report.
+"""
+
+import pytest
+
+from repro.benchmarks_lib import get_benchmark
+from repro.placement.pipeline import ExpressoPipeline
+
+_ABLATION_TARGETS = ["BoundedBuffer", "ConcurrencyThrottle", "Readers-Writers"]
+
+
+@pytest.mark.parametrize("name", _ABLATION_TARGETS)
+@pytest.mark.parametrize("invariant", [True, False], ids=["with-inv", "no-inv"])
+def test_ablation_invariant(benchmark, name, invariant):
+    """Placement quality with vs. without monitor-invariant inference."""
+    spec = get_benchmark(name)
+    monitor = spec.monitor()
+
+    def compile_variant():
+        return ExpressoPipeline(infer_invariant=invariant).compile(monitor)
+
+    result = benchmark.pedantic(compile_variant, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["invariant_inference"] = invariant
+    benchmark.extra_info["notifications"] = result.placement.total_notifications()
+    benchmark.extra_info["broadcasts"] = result.placement.broadcast_count()
+
+
+@pytest.mark.parametrize("name", _ABLATION_TARGETS)
+@pytest.mark.parametrize("commutativity", [True, False], ids=["with-comm", "no-comm"])
+def test_ablation_commutativity(benchmark, name, commutativity):
+    """Placement quality with vs. without the §4.3 broadcast elimination."""
+    spec = get_benchmark(name)
+    monitor = spec.monitor()
+
+    def compile_variant():
+        return ExpressoPipeline(use_commutativity=commutativity).compile(monitor)
+
+    result = benchmark.pedantic(compile_variant, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["commutativity"] = commutativity
+    benchmark.extra_info["notifications"] = result.placement.total_notifications()
+    benchmark.extra_info["broadcasts"] = result.placement.broadcast_count()

@@ -1,0 +1,50 @@
+"""Figure 8: saturation performance on the AutoSynch suite + readers-writers.
+
+Each pytest-benchmark case measures one (benchmark, discipline, thread count)
+cell of the corresponding plot: the wall-clock cost of pushing the benchmark's
+saturation workload through the monitor under that signalling discipline.
+Lower is better; the paper's qualitative result is
+
+    Expresso ≈ hand-written Explicit  <  AutoSynch  <  naive Implicit
+
+Run ``pytest benchmarks/bench_figure8.py --benchmark-only`` (see conftest.py
+for widening the thread ladder to the paper's full 2..128 sweep).
+"""
+
+import pytest
+
+from repro.benchmarks_lib import FIGURE8_BENCHMARKS
+from repro.harness import DISCIPLINES, run_saturation
+from repro.harness.saturation import build_monitor_class
+
+from benchmarks.conftest import bench_ops_per_thread, bench_thread_ladder
+
+_THREADS = bench_thread_ladder()
+_OPS = bench_ops_per_thread()
+
+_CASES = [
+    pytest.param(spec, discipline, threads,
+                 id=f"{spec.name.replace(' ', '')}-{discipline}-{threads}t")
+    for spec in FIGURE8_BENCHMARKS
+    for discipline in DISCIPLINES
+    for threads in _THREADS
+]
+
+
+@pytest.mark.parametrize("spec,discipline,threads", _CASES)
+def test_figure8_series(benchmark, spec, discipline, threads):
+    """One point of one Figure 8 plot (ms/op for a discipline at a thread count)."""
+    # Compile/generate outside the measured region (Table 1 measures that part).
+    build_monitor_class(spec, discipline)
+
+    def run_workload():
+        return run_saturation(spec, discipline, threads, ops_per_thread=_OPS,
+                              timeout_seconds=120.0)
+
+    measurement = benchmark.pedantic(run_workload, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = spec.name
+    benchmark.extra_info["discipline"] = discipline
+    benchmark.extra_info["threads"] = threads
+    benchmark.extra_info["ms_per_op"] = measurement.ms_per_op
+    benchmark.extra_info["spurious_wakeups"] = measurement.metrics["spurious_wakeups"]
+    benchmark.extra_info["predicate_evaluations"] = measurement.metrics["predicate_evaluations"]

@@ -1,0 +1,44 @@
+"""Figure 9: saturation performance on the GitHub-mined monitors.
+
+Same structure as :mod:`benchmarks.bench_figure8`, over the six monitors the
+paper extracted from Spring, EventBus, Gradle, ExoPlayer and greenDAO.  The
+paper's headline for this figure is that Expresso matches hand-optimized code
+and outperforms AutoSynch by 1.62x on average (up to 2.5x at 128 threads).
+"""
+
+import pytest
+
+from repro.benchmarks_lib import FIGURE9_BENCHMARKS
+from repro.harness import DISCIPLINES, run_saturation
+from repro.harness.saturation import build_monitor_class
+
+from benchmarks.conftest import bench_ops_per_thread, bench_thread_ladder
+
+_THREADS = bench_thread_ladder()
+_OPS = bench_ops_per_thread()
+
+_CASES = [
+    pytest.param(spec, discipline, threads,
+                 id=f"{spec.name.replace(' ', '')}-{discipline}-{threads}t")
+    for spec in FIGURE9_BENCHMARKS
+    for discipline in DISCIPLINES
+    for threads in _THREADS
+]
+
+
+@pytest.mark.parametrize("spec,discipline,threads", _CASES)
+def test_figure9_series(benchmark, spec, discipline, threads):
+    """One point of one Figure 9 plot (ms/op for a discipline at a thread count)."""
+    build_monitor_class(spec, discipline)
+
+    def run_workload():
+        return run_saturation(spec, discipline, threads, ops_per_thread=_OPS,
+                              timeout_seconds=120.0)
+
+    measurement = benchmark.pedantic(run_workload, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = spec.name
+    benchmark.extra_info["discipline"] = discipline
+    benchmark.extra_info["threads"] = threads
+    benchmark.extra_info["ms_per_op"] = measurement.ms_per_op
+    benchmark.extra_info["spurious_wakeups"] = measurement.metrics["spurious_wakeups"]
+    benchmark.extra_info["predicate_evaluations"] = measurement.metrics["predicate_evaluations"]

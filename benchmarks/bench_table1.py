@@ -1,0 +1,32 @@
+"""Table 1: Expresso compilation (analysis + synthesis) time per benchmark.
+
+Each pytest-benchmark case times the *entire* pipeline — parsing, invariant
+inference (abduction + predicate-abstraction fixed point), signal placement
+(including the §4.3 commutativity checks), and instrumentation — for one of
+the 14 benchmarks, i.e. exactly what the paper's Table 1 reports per row.
+"""
+
+import pytest
+
+from repro.benchmarks_lib import ALL_BENCHMARKS
+from repro.placement.pipeline import ExpressoPipeline
+
+_CASES = [
+    pytest.param(spec, id=spec.name.replace(" ", ""))
+    for spec in ALL_BENCHMARKS.values()
+]
+
+
+@pytest.mark.parametrize("spec", _CASES)
+def test_table1_compilation_time(benchmark, spec):
+    """One row of Table 1: wall-clock time to synthesize the explicit monitor."""
+    monitor = spec.monitor()  # parse outside the measured region, as Soot would be
+
+    def compile_benchmark():
+        return ExpressoPipeline().compile(monitor)
+
+    result = benchmark.pedantic(compile_benchmark, iterations=1, rounds=1)
+    benchmark.extra_info["benchmark"] = spec.name
+    benchmark.extra_info["notifications"] = result.placement.total_notifications()
+    benchmark.extra_info["broadcasts"] = result.placement.broadcast_count()
+    benchmark.extra_info["validity_queries"] = result.solver_statistics["validity_queries"]

@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+The paper's saturation tests sweep 2..128 threads; a full sweep on every
+benchmark takes long on a laptop, so the pytest-benchmark targets default to
+a reduced ladder and a modest per-thread operation count.  Environment
+variables widen the sweep for a full reproduction run:
+
+* ``REPRO_BENCH_THREADS`` — comma-separated thread ladder (default ``2,4,8``)
+* ``REPRO_BENCH_OPS``     — operations per thread (default ``30``)
+
+Example full run::
+
+    REPRO_BENCH_THREADS=2,4,8,16,32,64,128 REPRO_BENCH_OPS=100 \
+        pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+
+def bench_thread_ladder():
+    raw = os.environ.get("REPRO_BENCH_THREADS", "2,4,8")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def bench_ops_per_thread():
+    return int(os.environ.get("REPRO_BENCH_OPS", "30"))
+
+
+@pytest.fixture(scope="session")
+def thread_ladder():
+    return bench_thread_ladder()
+
+
+@pytest.fixture(scope="session")
+def ops_per_thread():
+    return bench_ops_per_thread()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: compile the paper's readers-writers monitor (§2) end to end.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script parses the implicit-signal monitor of the paper's Figure 1,
+infers the monitor invariant, places signals, and prints the generated
+explicit-signal Java code — which matches the hand-written Figure 2.
+"""
+
+from repro import compile_monitor
+from repro.codegen import generate_java, generate_python_explicit
+from repro.logic.pretty import pretty
+
+READERS_WRITERS = """
+monitor RWLock {
+    int readers = 0;
+    boolean writerIn = false;
+
+    atomic void enterReader() {
+        waituntil (!writerIn) { readers++; }
+    }
+    atomic void exitReader() {
+        if (readers > 0) { readers--; }
+    }
+    atomic void enterWriter() {
+        waituntil (readers == 0 && !writerIn) { writerIn = true; }
+    }
+    atomic void exitWriter() {
+        writerIn = false;
+    }
+}
+"""
+
+
+def main() -> None:
+    result = compile_monitor(READERS_WRITERS)
+
+    print("=" * 72)
+    print("Expresso reproduction — readers-writers quickstart")
+    print("=" * 72)
+    print()
+    print("Inferred monitor invariant:", pretty(result.invariant))
+    print()
+    print("Placement decisions (CCR -> waited-on predicate -> action):")
+    for decision in result.placement.decisions:
+        if not decision.needs_notification:
+            action = "no signal needed"
+        else:
+            kind = "broadcast" if decision.broadcast else "signal"
+            marker = "?" if decision.conditional else "unconditional"
+            action = f"{kind} ({marker})"
+        print(f"  {decision.ccr_label:18s} {pretty(decision.predicate):34s} {action}")
+    print()
+    print("-" * 72)
+    print("Generated explicit-signal Java (compare with the paper's Figure 2):")
+    print("-" * 72)
+    print(generate_java(result.explicit))
+    print("-" * 72)
+    print("The same monitor as executable Python (used by the benchmarks):")
+    print("-" * 72)
+    print(generate_python_explicit(result.explicit))
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of *Symbolic Reasoning for Automatic Signal Placement* (Expresso, PLDI 2018).
+
+The package is organized as a compiler pipeline plus the substrates it needs:
+
+``repro.logic``
+    First-order formulas over linear integer arithmetic and booleans.
+``repro.smt``
+    A from-scratch decision procedure (DPLL over theory atoms, exact-rational
+    simplex with branch-and-bound) and quantifier elimination.
+``repro.lang``
+    The implicit-signal monitor DSL (lexer, parser, semantic checks).
+``repro.analysis``
+    Weakest preconditions, Hoare-triple checking, alias analysis,
+    commutativity, abduction and monitor-invariant inference.
+``repro.placement``
+    The signal-placement algorithm and the explicit-signal target language.
+``repro.codegen``
+    Java-like and executable-Python code generation.
+``repro.runtime``
+    Executable monitor runtimes (explicit, naive implicit, AutoSynch-style).
+``repro.semantics``
+    Reference trace semantics used for differential testing.
+``repro.benchmarks_lib``
+    The paper's 14 benchmark monitors and their workloads.
+``repro.harness``
+    Saturation tests, a deterministic cost-model scheduler, and report
+    generation for every table and figure in the paper's evaluation.
+"""
+
+__all__ = ["ExpressoPipeline", "ExpressoResult", "compile_monitor", "__version__"]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazily expose the pipeline entry points at the package root.
+
+    Importing them lazily keeps ``import repro`` cheap for callers that only
+    need the logic/SMT substrates.
+    """
+    if name in ("ExpressoPipeline", "ExpressoResult", "compile_monitor"):
+        from repro.placement import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,30 @@
+"""Static analyses used by the signal-placement pipeline.
+
+* :mod:`repro.analysis.wp` — weakest preconditions over the statement language;
+* :mod:`repro.analysis.hoare` — Hoare-triple representation and checking;
+* :mod:`repro.analysis.renaming` — thread-local variable renaming (§4.2);
+* :mod:`repro.analysis.symexec` — forward symbolic execution (transition maps);
+* :mod:`repro.analysis.commutativity` — the Comm(w, M) check of §4.3;
+* :mod:`repro.analysis.abduction` — abductive candidate-predicate inference;
+* :mod:`repro.analysis.invariants` — monitor-invariant inference (Algorithm 2);
+* :mod:`repro.analysis.alias` — Andersen-style may-alias analysis standing in
+  for the paper's use of Doop, with §6's guarded store expansion.
+"""
+
+from repro.analysis.wp import weakest_precondition
+from repro.analysis.hoare import HoareTriple, check_triple
+from repro.analysis.renaming import rename_thread_locals, renamed_copy
+from repro.analysis.symexec import symbolic_execute, SymbolicState, SymbolicExecutionError
+from repro.analysis.commutativity import bodies_commute, ccr_commutes_with_all
+from repro.analysis.abduction import abduce, AbductionResult
+from repro.analysis.invariants import infer_monitor_invariant, InvariantInferenceResult
+
+__all__ = [
+    "weakest_precondition",
+    "HoareTriple", "check_triple",
+    "rename_thread_locals", "renamed_copy",
+    "symbolic_execute", "SymbolicState", "SymbolicExecutionError",
+    "bodies_commute", "ccr_commutes_with_all",
+    "abduce", "AbductionResult",
+    "infer_monitor_invariant", "InvariantInferenceResult",
+]

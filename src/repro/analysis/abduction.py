@@ -1,0 +1,183 @@
+"""Abductive inference of candidate strengthenings (paper §5, Equation 3).
+
+Given a precondition ``P`` and a goal ``phi`` (the weakest precondition of a
+statement with respect to a desired postcondition), abduction finds formulas
+``psi`` such that
+
+1. ``P && psi |= phi``   (the strengthened triple becomes valid), and
+2. ``P && psi`` is satisfiable (the speculation is consistent).
+
+The paper delegates this to the Explain tool of Dillig & Dillig; this
+reproduction implements the same contract with a quantifier-elimination based
+abducer:
+
+* for every small subset ``V`` of the free variables (preferring fewer
+  variables, i.e. "simpler explanations"), the candidate
+  ``psi_V = forall (Vars \\ V). (P ==> phi)`` is computed by Fourier–Motzkin /
+  Shannon elimination;
+* candidates are simplified and validated against conditions (1) and (2);
+* each surviving candidate is additionally *generalized* into atomic
+  half-space predicates (e.g. a disequality ``x != -1`` contributes ``x >= 0``
+  and ``x <= -2``), because monitor invariants are usually inequalities; the
+  generalizations are validated the same way.
+
+The caller (Algorithm 2) re-checks every candidate for initiation and
+consecution, so the abducer only has to be useful, never complete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.logic import build
+from repro.logic.free_vars import free_vars
+from repro.logic.nnf import atoms_of
+from repro.logic.simplify import simplify
+from repro.logic.terms import BoolConst, Eq, Expr, Ge, Gt, INT, Le, Lt, Ne, Not, Var
+from repro.smt.linear import linearize
+from repro.smt.qe import eliminate_forall
+from repro.smt.solver import Solver
+
+
+@dataclass(frozen=True)
+class AbductionResult:
+    """The candidates produced for one abduction query."""
+
+    pre: Expr
+    goal: Expr
+    candidates: Tuple[Expr, ...]
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+
+def abduce(pre: Expr, goal: Expr, solver: Optional[Solver] = None,
+           max_kept_vars: int = 2, max_candidates: int = 24,
+           max_subsets: int = 16, max_obligation_atoms: int = 20) -> AbductionResult:
+    """Produce candidate strengthenings ``psi`` with ``pre && psi |= goal``.
+
+    ``max_kept_vars`` bounds the size of the variable subsets over which
+    explanations are sought (the Explain tool's minimality bias); the full
+    variable set is always tried as a fallback.  ``max_subsets`` and
+    ``max_obligation_atoms`` bound the work spent on quantifier elimination
+    for large obligations (e.g. scalarized array guards): past those limits
+    abduction falls back to atom mining alone, which keeps the pipeline fast
+    while Algorithm 2 still filters the resulting candidates for soundness.
+    """
+    solver = solver or Solver()
+    obligation = build.implies(pre, goal)
+    variables = sorted(free_vars(obligation), key=lambda var: var.name)
+    candidates: List[Expr] = []
+
+    if solver.check_valid(obligation):
+        # Nothing to strengthen; report no candidates (TRUE adds no information).
+        return AbductionResult(pre, goal, ())
+
+    if len(atoms_of(obligation)) > max_obligation_atoms:
+        subsets: List[Tuple[Var, ...]] = []
+    else:
+        subsets = _variable_subsets(variables, max_kept_vars)[:max_subsets]
+    for kept in subsets:
+        eliminated = [var for var in variables if var not in kept]
+        if not eliminated:
+            candidate = simplify(obligation)
+        else:
+            try:
+                candidate = eliminate_forall(eliminated, obligation)
+            except ValueError:
+                continue
+        for psi in _split_candidate(candidate):
+            if _is_useful(psi, pre, goal, solver) and psi not in candidates:
+                candidates.append(psi)
+        if len(candidates) >= max_candidates:
+            break
+
+    if len(atoms_of(obligation)) <= max_obligation_atoms:
+        for generalized in _generalize_atoms(candidates + [goal]):
+            if len(candidates) >= max_candidates:
+                break
+            if generalized not in candidates and _is_useful(generalized, pre, goal, solver):
+                candidates.append(generalized)
+
+    return AbductionResult(pre, goal, tuple(candidates))
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation helpers
+# ---------------------------------------------------------------------------
+
+
+def _variable_subsets(variables: Sequence[Var], max_kept_vars: int):
+    """Subsets of the free variables, smallest first, full set last."""
+    subsets: List[Tuple[Var, ...]] = []
+    for size in range(1, min(max_kept_vars, len(variables)) + 1):
+        subsets.extend(itertools.combinations(variables, size))
+    full = tuple(variables)
+    if full and full not in subsets:
+        subsets.append(full)
+    return subsets
+
+
+def _split_candidate(candidate: Expr) -> List[Expr]:
+    """Split a conjunction into conjuncts; drop trivial pieces."""
+    candidate = simplify(candidate)
+    if isinstance(candidate, BoolConst):
+        return []
+    parts = list(build.conjuncts(candidate))
+    if candidate not in parts:
+        parts.append(candidate)
+    return [part for part in parts if not isinstance(part, BoolConst)]
+
+
+def _is_useful(psi: Expr, pre: Expr, goal: Expr, solver: Solver) -> bool:
+    """Conditions (1) and (2) of Equation 3, plus non-triviality."""
+    if isinstance(psi, BoolConst):
+        return False
+    consistent = solver.check_sat(build.land(pre, psi)).is_sat
+    if not consistent:
+        return False
+    return solver.check_valid(build.implies(build.land(pre, psi), goal))
+
+
+def _generalize_atoms(sources: Sequence[Expr]) -> List[Expr]:
+    """Mine inequality generalizations from the atoms of candidate formulas.
+
+    A disequality ``t != c`` over the integers splits the line into the two
+    half-spaces ``t >= c + 1`` and ``t <= c - 1``; equalities contribute the
+    two adjacent non-strict inequalities.  Monitor invariants are almost
+    always half-spaces (``readers >= 0``, ``count <= capacity``), so these
+    generalizations give Algorithm 2 exactly the candidates it needs even
+    when quantifier elimination produces a punctured-line disequality.
+    """
+    generalizations: List[Expr] = []
+
+    def emit(expr: Expr) -> None:
+        expr = simplify(expr)
+        if not isinstance(expr, BoolConst) and expr not in generalizations:
+            generalizations.append(expr)
+
+    for source in sources:
+        for atom in atoms_of(source):
+            if not isinstance(atom, (Eq, Ne, Le, Lt, Ge, Gt)):
+                continue
+            try:
+                left = linearize(atom.left)
+                right = linearize(atom.right)
+            except ValueError:
+                continue
+            except Exception:
+                continue
+            diff = left.sub(right)  # atom relates diff to 0
+            diff_expr = diff.to_expr()
+            zero = build.i(0)
+            if isinstance(atom, (Ne, Eq)):
+                emit(build.ge(diff_expr, zero))
+                emit(build.le(diff_expr, zero))
+                emit(build.ge(diff_expr, build.i(1)))
+                emit(build.le(diff_expr, build.i(-1)))
+            else:
+                emit(build.ge(diff_expr, zero))
+                emit(build.le(diff_expr, zero))
+    return generalizations

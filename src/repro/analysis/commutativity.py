@@ -1,0 +1,70 @@
+"""Commutativity checking for CCR bodies (paper §4.3).
+
+``Comm(w, M)`` holds when the body of *w* commutes with the body of every
+other CCR in the monitor, i.e. executing the two bodies in either order from
+the same initial state produces the same final monitor state.  The check is
+performed symbolically: both compositions are summarized by forward symbolic
+execution and the final values of every assigned shared variable are compared
+with the SMT solver.  Loops (which symbolic execution cannot summarize) make
+the answer conservatively ``False``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic import build
+from repro.logic.terms import Expr, Var
+from repro.lang.ast import CCR, Monitor, Stmt, seq
+from repro.analysis.symexec import SymbolicExecutionError, symbolic_execute
+from repro.smt.solver import Solver
+
+
+def bodies_commute(first: Stmt, second: Stmt, solver: Optional[Solver] = None,
+                   shared_names: Optional[frozenset] = None) -> bool:
+    """Return True when ``first; second`` and ``second; first`` are equivalent.
+
+    When *shared_names* is given, only those variables' final values are
+    compared (thread-local variables of distinct threads cannot interfere).
+    """
+    solver = solver or Solver()
+    try:
+        order_a = symbolic_execute(seq(first, second))
+        order_b = symbolic_execute(seq(second, first))
+    except SymbolicExecutionError:
+        return False
+    touched = set(order_a.values) | set(order_b.values)
+    if shared_names is not None:
+        touched &= set(shared_names)
+    for name in sorted(touched):
+        value_a = order_a.values.get(name)
+        value_b = order_b.values.get(name)
+        if value_a is None or value_b is None:
+            # Assigned in one order but not the other: compare against the
+            # initial value of the variable.
+            present = value_a if value_a is not None else value_b
+            missing = Var(name, _sort_of_value(present))
+            value_a = value_a if value_a is not None else missing
+            value_b = value_b if value_b is not None else missing
+        if not solver.check_valid(build.eq(value_a, value_b)):
+            return False
+    return True
+
+
+def ccr_commutes_with_all(ccr: CCR, monitor: Monitor,
+                          solver: Optional[Solver] = None) -> bool:
+    """The paper's ``Comm(w, M)``: w's body commutes with every *other* CCR body."""
+    solver = solver or Solver()
+    shared = frozenset(monitor.field_names())
+    for _method, other in monitor.ccrs():
+        if other is ccr:
+            continue
+        if not bodies_commute(ccr.body, other.body, solver, shared):
+            return False
+    return True
+
+
+def _sort_of_value(expr: Expr):
+    from repro.logic.terms import sort_of
+
+    return sort_of(expr)

@@ -1,0 +1,29 @@
+"""The paper's 14 evaluation benchmarks, transcribed into the monitor DSL.
+
+Figure 8 benchmarks (the AutoSynch suite plus the §2 readers-writers):
+BoundedBuffer, H2O Barrier, Sleeping Barber, Round Robin, Ticketed
+Readers-Writers, Parameterized Bounded Buffer, Dining Philosophers,
+Readers-Writers.
+
+Figure 9 benchmarks (monitors mined from GitHub projects): ConcurrencyThrottle
+(Spring), PendingPostQueue (EventBus), AsyncDispatch (Gradle),
+SimpleBlockingDeployment (Gradle), SimpleDecoder (ExoPlayer),
+AsyncOperationExecutor (greenDAO).
+
+Each benchmark bundles the implicit-signal DSL source, a hand-written
+explicit-signal placement (the "Explicit" series of the paper's plots), and a
+saturation workload generator.
+"""
+
+from repro.benchmarks_lib.spec import BenchmarkSpec, HandPlacement, Workload
+from repro.benchmarks_lib.registry import (
+    ALL_BENCHMARKS,
+    FIGURE8_BENCHMARKS,
+    FIGURE9_BENCHMARKS,
+    get_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec", "HandPlacement", "Workload",
+    "ALL_BENCHMARKS", "FIGURE8_BENCHMARKS", "FIGURE9_BENCHMARKS", "get_benchmark",
+]

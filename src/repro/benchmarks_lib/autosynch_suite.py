@@ -1,0 +1,414 @@
+"""The AutoSynch benchmark suite + the §2 readers-writers monitor (Figure 8).
+
+Each benchmark is transcribed from its description in the AutoSynch paper /
+the Expresso paper into the monitor DSL, together with the explicit-signal
+placement a careful programmer would write by hand (the "Explicit" series)
+and a balanced saturation workload.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.benchmarks_lib.spec import BenchmarkSpec, HandPlacement, ThreadOps, Workload
+
+
+# ---------------------------------------------------------------------------
+# Bounded buffer
+# ---------------------------------------------------------------------------
+
+BOUNDED_BUFFER_SOURCE = """
+monitor BoundedBuffer {
+    const int CAPACITY = 16;
+    unsigned int count = 0;
+
+    atomic void put() {
+        waituntil (count < CAPACITY) { count++; }
+    }
+    atomic void take() {
+        waituntil (count > 0) { count--; }
+    }
+}
+"""
+
+
+def _bounded_buffer_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    pairs = max(threads // 2, 1)
+    for index in range(threads):
+        if index < pairs:
+            workload.append([("put", ())] * ops)
+        elif index < 2 * pairs:
+            workload.append([("take", ())] * ops)
+        else:
+            workload.append([])
+    return workload
+
+
+BOUNDED_BUFFER = BenchmarkSpec(
+    name="BoundedBuffer",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=BOUNDED_BUFFER_SOURCE,
+    hand_placements=(
+        HandPlacement("put#0", "take", conditional=False, broadcast=False),
+        HandPlacement("take#0", "put", conditional=False, broadcast=False),
+    ),
+    make_workload=_bounded_buffer_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# Readers-writers (the paper's §2 running example)
+# ---------------------------------------------------------------------------
+
+READERS_WRITERS_SOURCE = """
+monitor RWLock {
+    int readers = 0;
+    boolean writerIn = false;
+
+    atomic void enterReader() {
+        waituntil (!writerIn) { readers++; }
+    }
+    atomic void exitReader() {
+        if (readers > 0) { readers--; }
+    }
+    atomic void enterWriter() {
+        waituntil (readers == 0 && !writerIn) { writerIn = true; }
+    }
+    atomic void exitWriter() {
+        writerIn = false;
+    }
+}
+"""
+
+
+def _readers_writers_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    for index in range(threads):
+        if index % 5 == 0:
+            workload.append([("enterWriter", ()), ("exitWriter", ())] * ops)
+        else:
+            workload.append([("enterReader", ()), ("exitReader", ())] * ops)
+    return workload
+
+
+READERS_WRITERS = BenchmarkSpec(
+    name="Readers-Writers",
+    figure="8",
+    origin="paper §2 motivating example",
+    source=READERS_WRITERS_SOURCE,
+    hand_placements=(
+        HandPlacement("exitReader#0", "enterWriter", conditional=True, broadcast=False),
+        HandPlacement("exitWriter#0", "enterWriter", conditional=True, broadcast=False),
+        HandPlacement("exitWriter#0", "enterReader", conditional=False, broadcast=True),
+    ),
+    make_workload=_readers_writers_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# Ticketed readers-writers (fair FIFO admission via tickets)
+# ---------------------------------------------------------------------------
+
+TICKETED_RW_SOURCE = """
+monitor TicketedRWLock {
+    int nextTicket = 0;
+    int serving = 0;
+    unsigned int readers = 0;
+    boolean writerIn = false;
+
+    atomic void enterReader() {
+        int ticket = nextTicket;
+        nextTicket++;
+        waituntil (serving == ticket && !writerIn) { readers++; serving++; }
+    }
+    atomic void exitReader() {
+        if (readers > 0) { readers--; }
+    }
+    atomic void enterWriter() {
+        int ticket = nextTicket;
+        nextTicket++;
+        waituntil (serving == ticket && readers == 0 && !writerIn) {
+            writerIn = true;
+            serving++;
+        }
+    }
+    atomic void exitWriter() {
+        writerIn = false;
+    }
+}
+"""
+
+
+def _ticketed_rw_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    for index in range(threads):
+        if index % 3 == 2:
+            workload.append([("enterWriter", ()), ("exitWriter", ())] * ops)
+        else:
+            workload.append([("enterReader", ()), ("exitReader", ())] * ops)
+    return workload
+
+
+TICKETED_READERS_WRITERS = BenchmarkSpec(
+    name="Ticketed Readers-Writers",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=TICKETED_RW_SOURCE,
+    hand_placements=(
+        # Ticket admission order means every state change may admit the next
+        # ticket holder, whose identity (ticket value) is thread-local: the
+        # hand-written monitor broadcasts on both conditions.
+        HandPlacement("enterReader#1", "enterReader", conditional=True, broadcast=True),
+        HandPlacement("enterReader#1", "enterWriter", conditional=True, broadcast=True),
+        HandPlacement("exitReader#0", "enterWriter", conditional=True, broadcast=True),
+        HandPlacement("enterWriter#1", "enterReader", conditional=True, broadcast=True),
+        HandPlacement("exitWriter#0", "enterReader", conditional=True, broadcast=True),
+        HandPlacement("exitWriter#0", "enterWriter", conditional=True, broadcast=True),
+    ),
+    make_workload=_ticketed_rw_workload,
+    default_ops_per_thread=20,
+)
+
+
+# ---------------------------------------------------------------------------
+# H2O barrier
+# ---------------------------------------------------------------------------
+
+H2O_SOURCE = """
+monitor H2OBarrier {
+    unsigned int hydrogenReady = 0;
+    unsigned int molecules = 0;
+
+    atomic void hydrogen() {
+        hydrogenReady++;
+    }
+    atomic void oxygen() {
+        waituntil (hydrogenReady >= 2) {
+            hydrogenReady = hydrogenReady - 2;
+            molecules++;
+        }
+    }
+}
+"""
+
+
+def _h2o_workload(threads: int, ops: int) -> Workload:
+    # Roles repeat H, H, O so hydrogen calls are exactly twice the oxygen calls.
+    workload: Workload = []
+    groups = threads // 3
+    for index in range(threads):
+        if index < 2 * groups:
+            workload.append([("hydrogen", ())] * ops)
+        elif index < 3 * groups:
+            workload.append([("oxygen", ())] * ops)
+        else:
+            workload.append([])
+    return workload
+
+
+H2O_BARRIER = BenchmarkSpec(
+    name="H2O Barrier",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=H2O_SOURCE,
+    hand_placements=(
+        HandPlacement("hydrogen#0", "oxygen", conditional=True, broadcast=False),
+    ),
+    make_workload=_h2o_workload,
+    thread_ladder=(3, 6, 9, 18, 33, 66, 129),
+    default_ops_per_thread=30,
+)
+
+
+# ---------------------------------------------------------------------------
+# Sleeping barber
+# ---------------------------------------------------------------------------
+
+SLEEPING_BARBER_SOURCE = """
+monitor SleepingBarber {
+    unsigned int waiting = 0;
+    unsigned int served = 0;
+
+    atomic void customerArrives() {
+        waiting++;
+    }
+    atomic void getHaircut() {
+        waituntil (served > 0) { served--; }
+    }
+    atomic void cutHair() {
+        waituntil (waiting > 0) { waiting--; served++; }
+    }
+}
+"""
+
+
+def _sleeping_barber_workload(threads: int, ops: int) -> Workload:
+    customers = max(threads - 1, 1)
+    workload: Workload = []
+    for index in range(customers):
+        workload.append([("customerArrives", ()), ("getHaircut", ())] * ops)
+    workload.append([("cutHair", ())] * (customers * ops))
+    return workload
+
+
+SLEEPING_BARBER = BenchmarkSpec(
+    name="Sleeping Barber",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=SLEEPING_BARBER_SOURCE,
+    hand_placements=(
+        HandPlacement("customerArrives#0", "cutHair", conditional=False, broadcast=False),
+        HandPlacement("cutHair#0", "getHaircut", conditional=False, broadcast=False),
+    ),
+    make_workload=_sleeping_barber_workload,
+    default_ops_per_thread=30,
+)
+
+
+# ---------------------------------------------------------------------------
+# Round robin (turn taking with a thread-local turn id)
+# ---------------------------------------------------------------------------
+
+ROUND_ROBIN_SOURCE = """
+monitor RoundRobin {
+    int turn = 0;
+
+    atomic void takeTurn(int id) {
+        waituntil (turn == id) { turn++; }
+    }
+}
+"""
+
+
+def _round_robin_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    for index in range(threads):
+        turns: ThreadOps = [("takeTurn", (index + round_number * threads,))
+                            for round_number in range(ops)]
+        workload.append(turns)
+    return workload
+
+
+ROUND_ROBIN = BenchmarkSpec(
+    name="Round Robin",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=ROUND_ROBIN_SOURCE,
+    hand_placements=(
+        # The next turn holder's identity is thread-local, so the hand-written
+        # monitor broadcasts after every turn.
+        HandPlacement("takeTurn#0", "takeTurn", conditional=True, broadcast=True),
+    ),
+    make_workload=_round_robin_workload,
+    default_ops_per_thread=15,
+)
+
+
+# ---------------------------------------------------------------------------
+# Parameterized bounded buffer (put/take n items at a time)
+# ---------------------------------------------------------------------------
+
+PARAM_BOUNDED_BUFFER_SOURCE = """
+monitor ParamBoundedBuffer {
+    const int CAPACITY = 16;
+    unsigned int count = 0;
+
+    atomic void put(int n) {
+        waituntil (count + n <= CAPACITY) { count = count + n; }
+    }
+    atomic void take(int n) {
+        waituntil (count >= n) { count = count - n; }
+    }
+}
+"""
+
+
+def _param_bounded_buffer_workload(threads: int, ops: int) -> Workload:
+    sizes = [1, 2, 3]
+    workload: Workload = []
+    pairs = max(threads // 2, 1)
+    for index in range(threads):
+        if index < pairs:
+            workload.append([("put", (sizes[op % len(sizes)],)) for op in range(ops)])
+        elif index < 2 * pairs:
+            workload.append([("take", (sizes[op % len(sizes)],)) for op in range(ops)])
+        else:
+            workload.append([])
+    return workload
+
+
+PARAM_BOUNDED_BUFFER = BenchmarkSpec(
+    name="Parameterized Bounded Buffer",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=PARAM_BOUNDED_BUFFER_SOURCE,
+    hand_placements=(
+        HandPlacement("put#0", "take", conditional=True, broadcast=True),
+        HandPlacement("take#0", "put", conditional=True, broadcast=True),
+    ),
+    make_workload=_param_bounded_buffer_workload,
+    default_ops_per_thread=30,
+)
+
+
+# ---------------------------------------------------------------------------
+# Dining philosophers (fixed-size fork array, atomic two-fork pickup)
+# ---------------------------------------------------------------------------
+
+DINING_PHILOSOPHERS_SOURCE = """
+monitor DiningPhilosophers {
+    const int N = 3;
+    boolean forks[N];
+
+    atomic void pickUp(int leftFork, int rightFork) {
+        waituntil (!forks[leftFork] && !forks[rightFork]) {
+            forks[leftFork] = true;
+            forks[rightFork] = true;
+        }
+    }
+    atomic void putDown(int leftFork, int rightFork) {
+        forks[leftFork] = false;
+        forks[rightFork] = false;
+    }
+}
+"""
+
+
+def _dining_philosophers_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    table_size = 3
+    for index in range(threads):
+        philosopher = index % table_size
+        left, right = philosopher, (philosopher + 1) % table_size
+        workload.append([("pickUp", (left, right)), ("putDown", (left, right))] * ops)
+    return workload
+
+
+DINING_PHILOSOPHERS = BenchmarkSpec(
+    name="Dining Philosophers",
+    figure="8",
+    origin="AutoSynch benchmark suite",
+    source=DINING_PHILOSOPHERS_SOURCE,
+    hand_placements=(
+        # The hand-written monitor knows the problem structure and only wakes
+        # the neighbours of the releasing philosopher; at the CCR granularity
+        # that is a conditional broadcast on the pickup condition.
+        HandPlacement("putDown#0", "pickUp", conditional=True, broadcast=True),
+    ),
+    make_workload=_dining_philosophers_workload,
+    default_ops_per_thread=20,
+)
+
+
+FIGURE8: List[BenchmarkSpec] = [
+    BOUNDED_BUFFER,
+    H2O_BARRIER,
+    SLEEPING_BARBER,
+    ROUND_ROBIN,
+    TICKETED_READERS_WRITERS,
+    PARAM_BOUNDED_BUFFER,
+    DINING_PHILOSOPHERS,
+    READERS_WRITERS,
+]

@@ -1,0 +1,329 @@
+"""The GitHub-mined benchmark suite (Figure 9).
+
+The six monitors below reproduce the synchronization logic of the modules the
+paper extracted from popular open-source projects (Spring, EventBus, Gradle,
+ExoPlayer, greenDAO).  Only the monitor-relevant state and methods are
+transcribed — exactly what the paper's manual extraction did when inserting
+the modules into a stress-testing harness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.benchmarks_lib.spec import BenchmarkSpec, HandPlacement, Workload
+
+
+# ---------------------------------------------------------------------------
+# ConcurrencyThrottle (Spring framework)
+# ---------------------------------------------------------------------------
+
+CONCURRENCY_THROTTLE_SOURCE = """
+monitor ConcurrencyThrottle {
+    const int THREAD_LIMIT = 8;
+    unsigned int threadCount = 0;
+
+    atomic void beforeAccess() {
+        waituntil (threadCount < THREAD_LIMIT) { threadCount++; }
+    }
+    atomic void afterAccess() {
+        threadCount--;
+    }
+}
+"""
+
+
+def _throttle_workload(threads: int, ops: int) -> Workload:
+    return [[("beforeAccess", ()), ("afterAccess", ())] * ops for _ in range(threads)]
+
+
+CONCURRENCY_THROTTLE = BenchmarkSpec(
+    name="ConcurrencyThrottle",
+    figure="9",
+    origin="Spring framework",
+    source=CONCURRENCY_THROTTLE_SOURCE,
+    hand_placements=(
+        HandPlacement("afterAccess#0", "beforeAccess", conditional=False, broadcast=False),
+    ),
+    make_workload=_throttle_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# PendingPostQueue (greenrobot EventBus)
+# ---------------------------------------------------------------------------
+
+PENDING_POST_QUEUE_SOURCE = """
+monitor PendingPostQueue {
+    unsigned int queueSize = 0;
+
+    atomic void enqueue() {
+        queueSize++;
+    }
+    atomic void poll() {
+        waituntil (queueSize > 0) { queueSize--; }
+    }
+}
+"""
+
+
+def _pending_post_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    pairs = max(threads // 2, 1)
+    for index in range(threads):
+        if index < pairs:
+            workload.append([("enqueue", ())] * ops)
+        elif index < 2 * pairs:
+            workload.append([("poll", ())] * ops)
+        else:
+            workload.append([])
+    return workload
+
+
+PENDING_POST_QUEUE = BenchmarkSpec(
+    name="PendingPostQueue",
+    figure="9",
+    origin="EventBus",
+    source=PENDING_POST_QUEUE_SOURCE,
+    hand_placements=(
+        HandPlacement("enqueue#0", "poll", conditional=False, broadcast=False),
+    ),
+    make_workload=_pending_post_workload,
+    thread_ladder=(3, 6, 9, 18, 33, 66, 129),
+)
+
+
+# ---------------------------------------------------------------------------
+# AsyncDispatch (Gradle)
+# ---------------------------------------------------------------------------
+
+ASYNC_DISPATCH_SOURCE = """
+monitor AsyncDispatch {
+    const int MAX_QUEUE_SIZE = 16;
+    const int STOPPED = 2;
+    unsigned int queueSize = 0;
+    int state = 0;
+
+    atomic void dispatch() {
+        waituntil (queueSize < MAX_QUEUE_SIZE || state == STOPPED) {
+            if (state != STOPPED) { queueSize++; }
+        }
+    }
+    atomic void run() {
+        waituntil (queueSize > 0 || state == STOPPED) {
+            if (queueSize > 0) { queueSize--; }
+        }
+    }
+    atomic void stop() {
+        state = STOPPED;
+    }
+}
+"""
+
+
+def _async_dispatch_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    pairs = max(threads // 2, 1)
+    for index in range(threads):
+        if index < pairs:
+            producer = [("dispatch", ())] * ops
+            if index == 0:
+                producer.append(("stop", ()))
+            workload.append(producer)
+        elif index < 2 * pairs:
+            workload.append([("run", ())] * ops)
+        else:
+            workload.append([])
+    return workload
+
+
+ASYNC_DISPATCH = BenchmarkSpec(
+    name="AsyncDispatch",
+    figure="9",
+    origin="Gradle",
+    source=ASYNC_DISPATCH_SOURCE,
+    hand_placements=(
+        HandPlacement("dispatch#0", "run", conditional=True, broadcast=False),
+        HandPlacement("run#0", "dispatch", conditional=True, broadcast=False),
+        HandPlacement("stop#0", "run", conditional=False, broadcast=True),
+        HandPlacement("stop#0", "dispatch", conditional=False, broadcast=True),
+    ),
+    make_workload=_async_dispatch_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# SimpleBlockingDeployment (Gradle)
+# ---------------------------------------------------------------------------
+
+SIMPLE_BLOCKING_DEPLOYMENT_SOURCE = """
+monitor SimpleBlockingDeployment {
+    boolean blocked = false;
+    unsigned int deployments = 0;
+
+    atomic void block() {
+        blocked = true;
+    }
+    atomic void unblock() {
+        blocked = false;
+    }
+    atomic void deploy() {
+        waituntil (!blocked) { deployments++; }
+    }
+}
+"""
+
+
+def _blocking_deployment_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    for index in range(threads):
+        if index == 0:
+            workload.append([("block", ()), ("unblock", ())] * ops)
+        else:
+            workload.append([("deploy", ())] * ops)
+    return workload
+
+
+SIMPLE_BLOCKING_DEPLOYMENT = BenchmarkSpec(
+    name="SimpleBlockingDeployment",
+    figure="9",
+    origin="Gradle",
+    source=SIMPLE_BLOCKING_DEPLOYMENT_SOURCE,
+    hand_placements=(
+        HandPlacement("unblock#0", "deploy", conditional=False, broadcast=True),
+    ),
+    make_workload=_blocking_deployment_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# SimpleDecoder (ExoPlayer)
+# ---------------------------------------------------------------------------
+
+SIMPLE_DECODER_SOURCE = """
+monitor SimpleDecoder {
+    unsigned int availableInputBuffers = 4;
+    unsigned int queuedInputBuffers = 0;
+    unsigned int availableOutputBuffers = 0;
+    boolean released = false;
+
+    atomic void dequeueInputBuffer() {
+        waituntil (availableInputBuffers > 0 || released) {
+            if (!released) { availableInputBuffers--; }
+        }
+    }
+    atomic void queueInputBuffer() {
+        queuedInputBuffers++;
+    }
+    atomic void decode() {
+        waituntil (queuedInputBuffers > 0 || released) {
+            if (queuedInputBuffers > 0) {
+                queuedInputBuffers--;
+                availableOutputBuffers++;
+            }
+        }
+    }
+    atomic void dequeueOutputBuffer() {
+        waituntil (availableOutputBuffers > 0 || released) {
+            if (availableOutputBuffers > 0) { availableOutputBuffers--; }
+        }
+    }
+    atomic void releaseOutputBuffer() {
+        availableInputBuffers++;
+    }
+    atomic void release() {
+        released = true;
+    }
+}
+"""
+
+
+def _simple_decoder_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    pairs = max(threads // 2, 1)
+    client_ops = [("dequeueInputBuffer", ()), ("queueInputBuffer", ()),
+                  ("dequeueOutputBuffer", ()), ("releaseOutputBuffer", ())]
+    for index in range(threads):
+        if index < pairs:
+            workload.append(client_ops * ops)
+        elif index < 2 * pairs:
+            workload.append([("decode", ())] * ops)
+        else:
+            workload.append([])
+    return workload
+
+
+SIMPLE_DECODER = BenchmarkSpec(
+    name="SimpleDecoder",
+    figure="9",
+    origin="ExoPlayer",
+    source=SIMPLE_DECODER_SOURCE,
+    hand_placements=(
+        HandPlacement("queueInputBuffer#0", "decode", conditional=False, broadcast=False),
+        HandPlacement("decode#0", "dequeueOutputBuffer", conditional=True, broadcast=False),
+        HandPlacement("releaseOutputBuffer#0", "dequeueInputBuffer",
+                      conditional=False, broadcast=False),
+        HandPlacement("release#0", "dequeueInputBuffer", conditional=False, broadcast=True),
+        HandPlacement("release#0", "decode", conditional=False, broadcast=True),
+        HandPlacement("release#0", "dequeueOutputBuffer", conditional=False, broadcast=True),
+    ),
+    make_workload=_simple_decoder_workload,
+    thread_ladder=(3, 6, 9, 18, 33, 66, 129),
+    default_ops_per_thread=25,
+)
+
+
+# ---------------------------------------------------------------------------
+# AsyncOperationExecutor (greenDAO)
+# ---------------------------------------------------------------------------
+
+ASYNC_OPERATION_EXECUTOR_SOURCE = """
+monitor AsyncOperationExecutor {
+    unsigned int enqueuedCount = 0;
+    unsigned int completedCount = 0;
+
+    atomic void enqueueOperation() {
+        enqueuedCount++;
+    }
+    atomic void completeOperation() {
+        completedCount++;
+    }
+    atomic void waitForCompletion() {
+        waituntil (completedCount == enqueuedCount && enqueuedCount > 0);
+    }
+}
+"""
+
+
+def _async_executor_workload(threads: int, ops: int) -> Workload:
+    workload: Workload = []
+    for index in range(threads):
+        if index % 4 == 3:
+            workload.append([("waitForCompletion", ())] * ops)
+        else:
+            workload.append([("enqueueOperation", ()), ("completeOperation", ())] * ops)
+    return workload
+
+
+ASYNC_OPERATION_EXECUTOR = BenchmarkSpec(
+    name="AsyncOperationExecutor",
+    figure="9",
+    origin="greenDAO",
+    source=ASYNC_OPERATION_EXECUTOR_SOURCE,
+    hand_placements=(
+        HandPlacement("completeOperation#0", "waitForCompletion",
+                      conditional=True, broadcast=True),
+    ),
+    make_workload=_async_executor_workload,
+    default_ops_per_thread=30,
+)
+
+
+FIGURE9: List[BenchmarkSpec] = [
+    CONCURRENCY_THROTTLE,
+    PENDING_POST_QUEUE,
+    ASYNC_DISPATCH,
+    SIMPLE_BLOCKING_DEPLOYMENT,
+    SIMPLE_DECODER,
+    ASYNC_OPERATION_EXECUTOR,
+]

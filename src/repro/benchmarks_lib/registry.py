@@ -1,0 +1,27 @@
+"""Registry of all evaluation benchmarks, keyed by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchmarks_lib.autosynch_suite import FIGURE8
+from repro.benchmarks_lib.github_suite import FIGURE9
+from repro.benchmarks_lib.spec import BenchmarkSpec
+
+FIGURE8_BENCHMARKS: List[BenchmarkSpec] = list(FIGURE8)
+FIGURE9_BENCHMARKS: List[BenchmarkSpec] = list(FIGURE9)
+
+ALL_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in FIGURE8_BENCHMARKS + FIGURE9_BENCHMARKS
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by its paper name (case-insensitive, punctuation-lax)."""
+    if name in ALL_BENCHMARKS:
+        return ALL_BENCHMARKS[name]
+    normalized = name.lower().replace(" ", "").replace("-", "")
+    for spec in ALL_BENCHMARKS.values():
+        if spec.name.lower().replace(" ", "").replace("-", "") == normalized:
+            return spec
+    raise KeyError(f"unknown benchmark {name!r}; known: {sorted(ALL_BENCHMARKS)}")

@@ -1,0 +1,111 @@
+"""Benchmark specification objects.
+
+A :class:`BenchmarkSpec` packages everything the evaluation harness needs for
+one benchmark:
+
+* the implicit-signal DSL source (the input to Expresso);
+* a *hand-written* explicit-signal placement, expressed as notifications per
+  CCR (this is the "Explicit" series of Figures 8/9 — the near-optimal code a
+  programmer would write);
+* a saturation-workload generator producing balanced per-thread operation
+  sequences (so every run terminates);
+* the thread ladder over which the figure sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang import load_monitor
+from repro.lang.ast import Monitor
+from repro.placement.algorithm import PlacementResult
+from repro.placement.instrument import instrument
+from repro.placement.target import ExplicitMonitor, Notification
+
+#: One thread's operation sequence: a list of (method name, positional args).
+ThreadOps = List[Tuple[str, tuple]]
+#: A workload: one operation sequence per thread.
+Workload = List[ThreadOps]
+
+
+@dataclass(frozen=True)
+class HandPlacement:
+    """A hand-written notification: emitted by *ccr_label*, waking the threads
+    blocked on the guard of *wait_method*'s first waituntil."""
+
+    ccr_label: str
+    wait_method: str
+    conditional: bool
+    broadcast: bool
+
+
+@dataclass
+class BenchmarkSpec:
+    """One paper benchmark (source, hand-written placement, workload)."""
+
+    name: str
+    figure: str                       # "8" or "9"
+    origin: str                       # where the paper took it from
+    source: str
+    hand_placements: Tuple[HandPlacement, ...]
+    make_workload: Callable[[int, int], Workload]
+    thread_ladder: Tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128)
+    default_ops_per_thread: int = 40
+
+    _monitor_cache: Optional[Monitor] = field(default=None, repr=False, compare=False)
+
+    # -- derived artifacts ----------------------------------------------------
+
+    def monitor(self) -> Monitor:
+        """The parsed and checked implicit-signal monitor."""
+        if self._monitor_cache is None:
+            self._monitor_cache = load_monitor(self.source)
+        return self._monitor_cache
+
+    def guard_of_method(self, method_name: str):
+        """The guard of *method_name*'s first non-trivial CCR."""
+        method = self.monitor().method(method_name)
+        for ccr in method.ccrs:
+            if not ccr.is_trivial():
+                return ccr.guard
+        raise ValueError(f"{method_name!r} has no waituntil in benchmark {self.name!r}")
+
+    def handwritten_explicit(self) -> ExplicitMonitor:
+        """The hand-written explicit-signal monitor as an ExplicitMonitor."""
+        monitor = self.monitor()
+        notifications: Dict[str, List[Notification]] = {
+            ccr.label: [] for _m, ccr in monitor.ccrs()
+        }
+        for placement in self.hand_placements:
+            guard = self.guard_of_method(placement.wait_method)
+            notifications[placement.ccr_label].append(
+                Notification(guard, placement.conditional, placement.broadcast)
+            )
+        result = PlacementResult(
+            monitor=monitor,
+            invariant=_true(),
+            notifications={label: tuple(notes) for label, notes in notifications.items()},
+            decisions=(),
+        )
+        return instrument(monitor, result)
+
+    def workload(self, threads: int, ops_per_thread: Optional[int] = None) -> Workload:
+        """A balanced workload for *threads* threads."""
+        return self.make_workload(threads, ops_per_thread or self.default_ops_per_thread)
+
+
+def _true():
+    from repro.logic import TRUE
+
+    return TRUE
+
+
+def round_robin_roles(threads: int, ops: int,
+                      roles: Sequence[Callable[[int, int], ThreadOps]]) -> Workload:
+    """Assign roles to threads round-robin; each role builds its own op list."""
+    workload: Workload = []
+    for index in range(threads):
+        role = roles[index % len(roles)]
+        workload.append(role(index, ops))
+    return workload

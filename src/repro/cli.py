@@ -1,0 +1,167 @@
+"""Command-line interface for the Expresso reproduction.
+
+Usage examples::
+
+    # Compile an implicit-signal monitor and print the generated Java code.
+    expresso compile path/to/monitor.mon --emit java
+
+    # Show the inferred invariant and placement decisions.
+    expresso explain path/to/monitor.mon
+
+    # Reproduce a figure series or Table 1 on the built-in benchmarks.
+    expresso bench --figure 8 --threads 2 4 8 --ops 20
+    expresso bench --table 1
+    expresso bench --summary --threads 4 8
+
+    # List the built-in benchmarks.
+    expresso list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.benchmarks_lib import ALL_BENCHMARKS, FIGURE8_BENCHMARKS, FIGURE9_BENCHMARKS
+from repro.codegen import generate_java, generate_python_explicit
+from repro.harness.compile_time import measure_compile_times
+from repro.harness.report import (
+    figure_report,
+    render_figure_table,
+    render_table1,
+    speedup_summary,
+)
+from repro.lang.pretty import pretty_monitor
+from repro.logic.pretty import pretty
+from repro.placement.pipeline import ExpressoPipeline
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="expresso",
+        description="Symbolic signal placement for implicit-signal monitors "
+                    "(reproduction of Ferles et al., PLDI 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile a monitor to explicit-signal code")
+    compile_cmd.add_argument("path", help="path to the implicit-signal monitor source")
+    compile_cmd.add_argument("--emit", choices=("java", "python", "dsl"), default="java",
+                             help="output language (default: java)")
+    compile_cmd.add_argument("--lazy-broadcast", action="store_true",
+                             help="emit lazy broadcasts in Java output (paper §6)")
+    compile_cmd.add_argument("--no-commutativity", action="store_true",
+                             help="disable the §4.3 broadcast-elimination improvement")
+    compile_cmd.add_argument("--no-invariant", action="store_true",
+                             help="run placement with I = true (ablation)")
+
+    explain_cmd = sub.add_parser("explain", help="show invariant and placement decisions")
+    explain_cmd.add_argument("path", help="path to the implicit-signal monitor source")
+
+    bench_cmd = sub.add_parser("bench", help="reproduce the paper's figures and tables")
+    bench_cmd.add_argument("--figure", choices=("8", "9"), help="reproduce one figure")
+    bench_cmd.add_argument("--table", choices=("1",), help="reproduce Table 1")
+    bench_cmd.add_argument("--summary", action="store_true",
+                           help="print the aggregate speedup summary")
+    bench_cmd.add_argument("--benchmark", help="restrict to a single benchmark by name")
+    bench_cmd.add_argument("--threads", type=int, nargs="+",
+                           help="thread ladder override (default: per-benchmark)")
+    bench_cmd.add_argument("--ops", type=int, default=None,
+                           help="operations per thread (default: per-benchmark)")
+
+    sub.add_parser("list", help="list the built-in benchmarks")
+    return parser
+
+
+def _pipeline_from_args(args) -> ExpressoPipeline:
+    return ExpressoPipeline(
+        use_commutativity=not getattr(args, "no_commutativity", False),
+        infer_invariant=not getattr(args, "no_invariant", False),
+    )
+
+
+def _cmd_compile(args) -> int:
+    source = Path(args.path).read_text()
+    result = _pipeline_from_args(args).compile(source)
+    if args.emit == "java":
+        print(generate_java(result.explicit, lazy_broadcast=args.lazy_broadcast))
+    elif args.emit == "python":
+        print(generate_python_explicit(result.explicit))
+    else:
+        print(pretty_monitor(result.monitor))
+    print("//", result.summary().replace("\n", "\n// "), file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    source = Path(args.path).read_text()
+    result = ExpressoPipeline().compile(source)
+    print(result.summary())
+    print()
+    print("placement decisions:")
+    for decision in result.placement.decisions:
+        action = "no signal"
+        if decision.needs_notification:
+            kind = "broadcast" if decision.broadcast else "signal"
+            marker = "?" if decision.conditional else "✓"
+            action = f"{kind}[{marker}]"
+            if decision.used_commutativity:
+                action += " (via §4.3 commutativity)"
+        print(f"  {decision.ccr_label:24s} -> {pretty(decision.predicate):48s} {action}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    ladder = tuple(args.threads) if args.threads else None
+    if args.table == "1":
+        rows = measure_compile_times()
+        print(render_table1(rows))
+        return 0
+    if args.benchmark:
+        specs = [ALL_BENCHMARKS[args.benchmark]] if args.benchmark in ALL_BENCHMARKS else []
+        if not specs:
+            from repro.benchmarks_lib.registry import get_benchmark
+
+            specs = [get_benchmark(args.benchmark)]
+    elif args.figure == "8":
+        specs = FIGURE8_BENCHMARKS
+    elif args.figure == "9":
+        specs = FIGURE9_BENCHMARKS
+    else:
+        specs = list(ALL_BENCHMARKS.values())
+    all_series = []
+    for spec in specs:
+        series = figure_report(spec, thread_ladder=ladder or spec.thread_ladder[:3],
+                               ops_per_thread=args.ops)
+        all_series.append(series)
+        print(render_figure_table(series))
+        print()
+    if args.summary or not (args.figure or args.benchmark):
+        summary = speedup_summary(all_series)
+        print("Expresso geometric-mean speedup over:")
+        for baseline, speedup in sorted(summary.items()):
+            print(f"  {baseline:12s} {speedup:.2f}x")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    for name, spec in ALL_BENCHMARKS.items():
+        print(f"{name:32s} figure {spec.figure}   ({spec.origin})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "compile": _cmd_compile,
+        "explain": _cmd_explain,
+        "bench": _cmd_bench,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

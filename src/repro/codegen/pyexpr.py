@@ -1,0 +1,97 @@
+"""Expression translation used by the code generators.
+
+Guards and statement expressions are :mod:`repro.logic` terms; code
+generation needs them as Python expressions (over ``self.<field>`` and plain
+locals) and as Java expressions.  Both renderings are purely syntactic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet
+
+from repro.logic.terms import (
+    Add,
+    And,
+    BoolConst,
+    Eq,
+    Expr,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntConst,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Ne,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+
+
+def _render(expr: Expr, var: Callable[[str], str], *, python: bool) -> str:
+    rec = lambda e: _render(e, var, python=python)  # noqa: E731 - local shorthand
+    if isinstance(expr, Var):
+        return var(expr.name)
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, BoolConst):
+        if python:
+            return "True" if expr.value else "False"
+        return "true" if expr.value else "false"
+    if isinstance(expr, Add):
+        return "(" + " + ".join(rec(arg) for arg in expr.args) + ")"
+    if isinstance(expr, Sub):
+        return f"({rec(expr.left)} - {rec(expr.right)})"
+    if isinstance(expr, Neg):
+        return f"(-{rec(expr.operand)})"
+    if isinstance(expr, Mul):
+        return f"({rec(expr.left)} * {rec(expr.right)})"
+    if isinstance(expr, Ite):
+        if python:
+            return f"({rec(expr.then)} if {rec(expr.cond)} else {rec(expr.orelse)})"
+        return f"({rec(expr.cond)} ? {rec(expr.then)} : {rec(expr.orelse)})"
+    comparison = {Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+    for cls, symbol in comparison.items():
+        if isinstance(expr, cls):
+            return f"({rec(expr.left)} {symbol} {rec(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(not {rec(expr.operand)})" if python else f"(!{rec(expr.operand)})"
+    if isinstance(expr, And):
+        joiner = " and " if python else " && "
+        return "(" + joiner.join(rec(arg) for arg in expr.args) + ")"
+    if isinstance(expr, Or):
+        joiner = " or " if python else " || "
+        return "(" + joiner.join(rec(arg) for arg in expr.args) + ")"
+    if isinstance(expr, Implies):
+        if python:
+            return f"((not {rec(expr.antecedent)}) or {rec(expr.consequent)})"
+        return f"((!{rec(expr.antecedent)}) || {rec(expr.consequent)})"
+    if isinstance(expr, Iff):
+        return f"({rec(expr.left)} == {rec(expr.right)})"
+    raise TypeError(f"cannot translate node {type(expr).__name__}")
+
+
+def to_python(expr: Expr, field_names: FrozenSet[str], receiver: str = "self") -> str:
+    """Render *expr* as a Python expression; fields become ``<receiver>.<name>``."""
+    def var(name: str) -> str:
+        mangled = name.replace(".", "_")
+        if name in field_names:
+            return f"{receiver}.{mangled}"
+        return mangled
+
+    return _render(expr, var, python=True)
+
+
+def to_java(expr: Expr, field_names: FrozenSet[str]) -> str:
+    """Render *expr* as a Java expression; field paths are kept verbatim."""
+    return _render(expr, lambda name: name, python=False)
+
+
+def python_identifier(name: str) -> str:
+    """Mangle a (possibly dotted) DSL name into a valid Python identifier."""
+    return name.replace(".", "_")

@@ -1,0 +1,56 @@
+"""Statement translation to Python source lines (shared by the generators)."""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List
+
+from repro.codegen.pyexpr import python_identifier, to_python
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    If,
+    LocalDecl,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+
+
+def stmt_to_python(stmt: Stmt, field_names: FrozenSet[str], indent: int,
+                   receiver: str = "self") -> List[str]:
+    """Render *stmt* as a list of indented Python source lines."""
+    pad = "    " * indent
+
+    def expr(e) -> str:
+        return to_python(e, field_names, receiver)
+
+    def target(name: str) -> str:
+        mangled = python_identifier(name)
+        return f"{receiver}.{mangled}" if name in field_names else mangled
+
+    if isinstance(stmt, Skip):
+        return [f"{pad}pass"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{target(stmt.target)} = {expr(stmt.value)}"]
+    if isinstance(stmt, LocalDecl):
+        return [f"{pad}{python_identifier(stmt.name)} = {expr(stmt.init)}"]
+    if isinstance(stmt, ArrayAssign):
+        raise ValueError("array assignments must be scalarized before code generation")
+    if isinstance(stmt, Seq):
+        lines: List[str] = []
+        for child in stmt.stmts:
+            lines.extend(stmt_to_python(child, field_names, indent, receiver))
+        return lines or [f"{pad}pass"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {expr(stmt.cond)}:"]
+        lines.extend(stmt_to_python(stmt.then, field_names, indent + 1, receiver))
+        if not isinstance(stmt.orelse, Skip):
+            lines.append(f"{pad}else:")
+            lines.extend(stmt_to_python(stmt.orelse, field_names, indent + 1, receiver))
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while {expr(stmt.cond)}:"]
+        lines.extend(stmt_to_python(stmt.body, field_names, indent + 1, receiver))
+        return lines
+    raise TypeError(f"cannot translate statement {type(stmt).__name__}")

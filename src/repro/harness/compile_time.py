@@ -1,0 +1,46 @@
+"""Table 1: Expresso compilation (analysis + synthesis) time per benchmark."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.benchmarks_lib.registry import ALL_BENCHMARKS
+from repro.benchmarks_lib.spec import BenchmarkSpec
+from repro.placement.pipeline import ExpressoPipeline
+
+
+@dataclass(frozen=True)
+class CompileTimeRow:
+    """One row of Table 1."""
+
+    benchmark: str
+    seconds: float
+    validity_queries: int
+    invariant: str
+    notifications: int
+    broadcasts: int
+
+
+def measure_compile_times(benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+                          use_commutativity: bool = True) -> List[CompileTimeRow]:
+    """Run the full pipeline on every benchmark and record wall-clock time."""
+    from repro.logic.pretty import pretty
+
+    specs = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS.values())
+    rows: List[CompileTimeRow] = []
+    for spec in specs:
+        pipeline = ExpressoPipeline(use_commutativity=use_commutativity)
+        start = time.perf_counter()
+        result = pipeline.compile(spec.monitor())
+        elapsed = time.perf_counter() - start
+        rows.append(CompileTimeRow(
+            benchmark=spec.name,
+            seconds=elapsed,
+            validity_queries=result.solver_statistics.get("validity_queries", 0),
+            invariant=pretty(result.invariant),
+            notifications=result.placement.total_notifications(),
+            broadcasts=result.placement.broadcast_count(),
+        ))
+    return rows

@@ -1,0 +1,109 @@
+"""Figure/table assembly and text rendering.
+
+The report functions turn raw measurements into exactly the series the paper
+plots: for every benchmark a table of ms/op per thread count for the
+Expresso / AutoSynch / Explicit series (plus the naive implicit baseline this
+reproduction adds), the Table 1 compilation times, and the headline
+"Expresso is X× faster than AutoSynch on average" summary.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.benchmarks_lib.spec import BenchmarkSpec
+from repro.harness.compile_time import CompileTimeRow
+from repro.harness.saturation import (
+    DISCIPLINES,
+    SaturationMeasurement,
+    sweep_thread_ladder,
+)
+
+
+@dataclass
+class FigureSeries:
+    """One benchmark's plot: ms/op per (discipline, thread count)."""
+
+    benchmark: str
+    figure: str
+    thread_counts: Tuple[int, ...]
+    ms_per_op: Dict[str, Dict[int, float]]
+    metrics: Dict[str, Dict[int, Dict[str, int]]] = field(default_factory=dict)
+
+    def series(self, discipline: str) -> List[float]:
+        return [self.ms_per_op[discipline][threads] for threads in self.thread_counts]
+
+    def speedup_over(self, baseline: str, target: str = "expresso") -> float:
+        """Geometric-mean speedup of *target* over *baseline* across the ladder."""
+        ratios = []
+        for threads in self.thread_counts:
+            target_value = self.ms_per_op[target][threads]
+            baseline_value = self.ms_per_op[baseline][threads]
+            if target_value > 0:
+                ratios.append(baseline_value / target_value)
+        if not ratios:
+            return 1.0
+        return statistics.geometric_mean(ratios)
+
+
+def figure_report(spec: BenchmarkSpec, disciplines: Sequence[str] = DISCIPLINES,
+                  thread_ladder: Optional[Sequence[int]] = None,
+                  ops_per_thread: Optional[int] = None) -> FigureSeries:
+    """Measure one benchmark across its thread ladder and assemble its series."""
+    measurements = sweep_thread_ladder(spec, disciplines, thread_ladder, ops_per_thread)
+    ladder = tuple(thread_ladder) if thread_ladder is not None else spec.thread_ladder
+    ms_per_op: Dict[str, Dict[int, float]] = {d: {} for d in disciplines}
+    metrics: Dict[str, Dict[int, Dict[str, int]]] = {d: {} for d in disciplines}
+    for measurement in measurements:
+        ms_per_op[measurement.discipline][measurement.threads] = measurement.ms_per_op
+        metrics[measurement.discipline][measurement.threads] = measurement.metrics
+    return FigureSeries(spec.name, spec.figure, tuple(ladder), ms_per_op, metrics)
+
+
+def render_figure_table(series: FigureSeries, unit_scale: float = 1000.0) -> str:
+    """Render one benchmark's series as a text table (µs/op by default)."""
+    unit = "us/op" if unit_scale == 1000.0 else "ms/op"
+    disciplines = list(series.ms_per_op)
+    header = f"{series.benchmark}  (Figure {series.figure}, {unit})"
+    lines = [header, "-" * len(header)]
+    column_header = "threads".ljust(10) + "".join(d.ljust(14) for d in disciplines)
+    lines.append(column_header)
+    for threads in series.thread_counts:
+        row = str(threads).ljust(10)
+        for discipline in disciplines:
+            value = series.ms_per_op[discipline][threads] * unit_scale
+            row += f"{value:.2f}".ljust(14)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[CompileTimeRow]) -> str:
+    """Render Table 1 (compilation times) as text."""
+    header = "Table 1: Expresso compilation time per benchmark"
+    lines = [header, "-" * len(header)]
+    lines.append("Benchmark".ljust(32) + "Time (sec.)".ljust(14) +
+                 "VCs".ljust(8) + "Notifications")
+    for row in rows:
+        lines.append(
+            row.benchmark.ljust(32)
+            + f"{row.seconds:.2f}".ljust(14)
+            + str(row.validity_queries).ljust(8)
+            + f"{row.notifications} ({row.broadcasts} broadcasts)"
+        )
+    return "\n".join(lines)
+
+
+def speedup_summary(all_series: Iterable[FigureSeries]) -> Dict[str, float]:
+    """The headline aggregates: mean speedups of Expresso over each baseline."""
+    per_baseline: Dict[str, List[float]] = {}
+    for series in all_series:
+        for baseline in series.ms_per_op:
+            if baseline == "expresso":
+                continue
+            per_baseline.setdefault(baseline, []).append(series.speedup_over(baseline))
+    return {
+        baseline: statistics.geometric_mean(values) if values else 1.0
+        for baseline, values in per_baseline.items()
+    }

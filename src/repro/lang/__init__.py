@@ -1,0 +1,59 @@
+"""The implicit-signal monitor language (the paper's source language, Fig. 3).
+
+The concrete syntax is Java-like; the abstract syntax mirrors the paper:
+
+* a monitor is a set of field declarations plus ``atomic`` methods;
+* each method body is a sequence of conditional critical regions
+  (``waituntil (p) { s }``); plain statements are sugar for
+  ``waituntil (true) { s }``;
+* statements are assignments, conditionals, loops, and sequences over
+  linear-integer/boolean expressions.
+
+The frontend produces a :class:`repro.lang.ast.Monitor` whose guards and
+expressions are :mod:`repro.logic` terms, ready for the analyses.
+"""
+
+from repro.lang.ast import (
+    Assign,
+    ArrayAssign,
+    CCR,
+    FieldDecl,
+    If,
+    LocalDecl,
+    MethodDecl,
+    Monitor,
+    Param,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+    seq,
+)
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import MonitorParseError, parse_monitor
+from repro.lang.check import MonitorCheckError, check_monitor
+from repro.lang.arrays import scalarize_monitor
+from repro.lang.pretty import pretty_monitor, pretty_stmt
+
+__all__ = [
+    "Monitor", "FieldDecl", "MethodDecl", "Param", "CCR",
+    "Stmt", "Skip", "Assign", "ArrayAssign", "Seq", "If", "While", "LocalDecl", "seq",
+    "tokenize", "Token", "LexError",
+    "parse_monitor", "MonitorParseError",
+    "check_monitor", "MonitorCheckError",
+    "scalarize_monitor",
+    "pretty_monitor", "pretty_stmt",
+    "load_monitor",
+]
+
+
+def load_monitor(source: str) -> Monitor:
+    """Parse, scalarize and check a monitor from DSL source text.
+
+    This is the one-call frontend used by the pipeline, the examples and the
+    benchmark registry.
+    """
+    monitor = parse_monitor(source)
+    monitor = scalarize_monitor(monitor)
+    check_monitor(monitor)
+    return monitor

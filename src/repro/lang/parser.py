@@ -1,0 +1,442 @@
+"""Recursive-descent parser for the monitor DSL.
+
+The concrete syntax is deliberately Java-flavoured so the paper's benchmarks
+can be transcribed almost verbatim::
+
+    monitor RWLock {
+        unsigned int readers = 0;
+        boolean writerIn = false;
+
+        atomic void enterReader() {
+            waituntil (!writerIn) { readers++; }
+        }
+        atomic void exitReader() {
+            if (readers > 0) { readers--; }
+        }
+        atomic void enterWriter() {
+            waituntil (readers == 0 && !writerIn) { writerIn = true; }
+        }
+        atomic void exitWriter() {
+            writerIn = false;
+        }
+    }
+
+Top-level plain statements of a method are grouped into ``waituntil (true)``
+regions as in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic import build
+from repro.logic.terms import BOOL, Expr, INT, Sort, Var
+from repro.lang.arrays import ArraySelect
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    CCR,
+    FieldDecl,
+    If,
+    LocalDecl,
+    MethodDecl,
+    Monitor,
+    Param,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+    seq,
+)
+from repro.lang.lexer import KEYWORDS, Token, tokenize
+
+
+class MonitorParseError(ValueError):
+    """Raised on syntactically or referentially malformed monitor source."""
+
+
+def parse_monitor(source: str) -> Monitor:
+    """Parse DSL source text into a :class:`Monitor` (arrays not yet scalarized)."""
+    return _Parser(tokenize(source)).parse_monitor()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+        # Symbol tables filled while parsing.
+        self._field_sorts: Dict[str, Sort] = {}
+        self._array_fields: Dict[str, Sort] = {}
+        self._constants: Dict[str, int] = {}
+        self._scope: List[Dict[str, Sort]] = []
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> MonitorParseError:
+        token = token or self._peek()
+        return MonitorParseError(f"line {token.line}, column {token.column}: {message}")
+
+    def _expect(self, text: str) -> Token:
+        token = self._advance()
+        if token.text != text:
+            raise self._error(f"expected {text!r} but found {token.text!r}", token)
+        return token
+
+    def _at(self, text: str) -> bool:
+        return self._peek().text == text
+
+    def _accept(self, text: str) -> bool:
+        if self._at(text):
+            self._advance()
+            return True
+        return False
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_monitor(self) -> Monitor:
+        self._expect("monitor")
+        name_token = self._advance()
+        if name_token.kind != "ident":
+            raise self._error("expected monitor name", name_token)
+        self._expect("{")
+        fields: List[FieldDecl] = []
+        methods: List[MethodDecl] = []
+        while not self._at("}"):
+            if self._at("atomic"):
+                methods.append(self._parse_method())
+            elif self._at("const"):
+                self._parse_constant()
+            else:
+                fields.append(self._parse_field())
+        self._expect("}")
+        if self._peek().kind != "eof":
+            raise self._error("trailing input after monitor body")
+        if not methods:
+            raise self._error("monitor declares no atomic methods")
+        return Monitor(name_token.text, tuple(fields), tuple(methods),
+                       tuple(sorted(self._constants.items())))
+
+    def _parse_constant(self) -> None:
+        self._expect("const")
+        self._expect("int")
+        name = self._expect_ident("constant name")
+        self._expect("=")
+        sign = -1 if self._accept("-") else 1
+        token = self._advance()
+        if token.kind != "int":
+            raise self._error("constant initializer must be an integer literal", token)
+        self._expect(";")
+        self._constants[name] = sign * int(token.text)
+
+    def _parse_type(self) -> Tuple[Sort, bool]:
+        unsigned = self._accept("unsigned")
+        token = self._advance()
+        if token.text == "int":
+            return INT, unsigned
+        if token.text == "boolean":
+            if unsigned:
+                raise self._error("'unsigned boolean' is not a type", token)
+            return BOOL, False
+        raise self._error(f"expected a type but found {token.text!r}", token)
+
+    def _parse_field(self) -> FieldDecl:
+        sort, unsigned = self._parse_type()
+        name = self._expect_ident("field name")
+        array_size: Optional[int] = None
+        if self._accept("["):
+            size_token = self._advance()
+            if size_token.kind == "int":
+                array_size = int(size_token.text)
+            elif size_token.text in self._constants:
+                array_size = self._constants[size_token.text]
+            else:
+                raise self._error("array size must be an integer literal or const", size_token)
+            self._expect("]")
+        init: Expr = build.i(0) if sort is INT else build.FALSE
+        if self._accept("="):
+            init = self._parse_expr()
+        self._expect(";")
+        if name in self._field_sorts or name in self._array_fields:
+            raise self._error(f"duplicate field {name!r}")
+        if array_size is None:
+            self._field_sorts[name] = sort
+        else:
+            self._array_fields[name] = sort
+        return FieldDecl(name, sort, init, unsigned=unsigned, array_size=array_size)
+
+    def _parse_method(self) -> MethodDecl:
+        self._expect("atomic")
+        if not self._accept("void"):
+            # Allow a (ignored) primitive return type for Java fidelity.
+            if self._peek().text in ("int", "boolean"):
+                self._advance()
+            else:
+                raise self._error("expected a return type after 'atomic'")
+        name = self._expect_ident("method name")
+        self._expect("(")
+        params: List[Param] = []
+        scope: Dict[str, Sort] = {}
+        if not self._at(")"):
+            while True:
+                sort, _unsigned = self._parse_type()
+                param_name = self._expect_ident("parameter name")
+                params.append(Param(param_name, sort))
+                scope[param_name] = sort
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        self._scope.append(scope)
+        try:
+            ccrs = self._parse_method_body(name)
+        finally:
+            self._scope.pop()
+        return MethodDecl(name, tuple(params), tuple(ccrs))
+
+    def _parse_method_body(self, method_name: str) -> List[CCR]:
+        self._expect("{")
+        ccrs: List[CCR] = []
+        pending: List[Stmt] = []
+
+        def flush_pending() -> None:
+            if pending:
+                label = f"{method_name}#{len(ccrs)}"
+                ccrs.append(CCR(build.TRUE, seq(*pending), label))
+                pending.clear()
+
+        while not self._at("}"):
+            if self._at("waituntil"):
+                flush_pending()
+                self._advance()
+                self._expect("(")
+                guard = self._parse_expr(expect_bool=True)
+                self._expect(")")
+                if self._accept(";"):
+                    body: Stmt = Skip()
+                else:
+                    body = self._parse_block()
+                label = f"{method_name}#{len(ccrs)}"
+                ccrs.append(CCR(guard, body, label))
+            else:
+                pending.append(self._parse_statement())
+        flush_pending()
+        self._expect("}")
+        if not ccrs:
+            ccrs.append(CCR(build.TRUE, Skip(), f"{method_name}#0"))
+        return ccrs
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> Stmt:
+        self._expect("{")
+        stmts: List[Stmt] = []
+        while not self._at("}"):
+            stmts.append(self._parse_statement())
+        self._expect("}")
+        return seq(*stmts)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.text == "{":
+            return self._parse_block()
+        if token.text == "skip":
+            self._advance()
+            self._expect(";")
+            return Skip()
+        if token.text == "return":
+            self._advance()
+            if not self._at(";"):
+                self._parse_expr()
+            self._expect(";")
+            return Skip()
+        if token.text == "if":
+            return self._parse_if()
+        if token.text == "while":
+            return self._parse_while()
+        if token.text == "waituntil":
+            raise self._error("waituntil statements may only appear at the top level "
+                              "of a method body (paper §3.2)")
+        if token.text in ("int", "boolean", "unsigned"):
+            return self._parse_local_decl()
+        return self._parse_assignment()
+
+    def _parse_if(self) -> Stmt:
+        self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr(expect_bool=True)
+        self._expect(")")
+        then = self._parse_statement()
+        orelse: Stmt = Skip()
+        if self._accept("else"):
+            orelse = self._parse_statement()
+        return If(cond, then, orelse)
+
+    def _parse_while(self) -> Stmt:
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr(expect_bool=True)
+        self._expect(")")
+        invariant: Optional[Expr] = None
+        if self._accept("invariant"):
+            self._expect("(")
+            invariant = self._parse_expr(expect_bool=True)
+            self._expect(")")
+        body = self._parse_statement()
+        return While(cond, body, invariant)
+
+    def _parse_local_decl(self) -> Stmt:
+        sort, _unsigned = self._parse_type()
+        name = self._expect_ident("local variable name")
+        init: Expr = build.i(0) if sort is INT else build.FALSE
+        if self._accept("="):
+            init = self._parse_expr(expect_bool=(sort is BOOL))
+        self._expect(";")
+        if self._scope:
+            self._scope[-1][name] = sort
+        return LocalDecl(name, sort, init)
+
+    def _parse_assignment(self) -> Stmt:
+        name = self._expect_ident("assignment target")
+        index: Optional[Expr] = None
+        if self._accept("["):
+            index = self._parse_expr()
+            self._expect("]")
+        target_sort = self._sort_of(name, array=index is not None)
+        current: Expr
+        if index is not None:
+            current = ArraySelect(name, index, target_sort)
+        else:
+            current = Var(name, target_sort)
+        token = self._advance()
+        if token.text == "=":
+            value = self._parse_expr(expect_bool=(target_sort is BOOL))
+        elif token.text == "++":
+            value = build.add(current, 1)
+        elif token.text == "--":
+            value = build.sub(current, 1)
+        elif token.text == "+=":
+            value = build.add(current, self._parse_expr())
+        elif token.text == "-=":
+            value = build.sub(current, self._parse_expr())
+        else:
+            raise self._error(f"expected an assignment operator, found {token.text!r}", token)
+        self._expect(";")
+        if index is not None:
+            return ArrayAssign(name, index, value)
+        return Assign(name, value)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self, expect_bool: bool = False) -> Expr:
+        expr = self._parse_or()
+        if expect_bool and isinstance(expr, Var) and expr.var_sort is INT:
+            raise self._error(f"expected a boolean expression but {expr.name!r} is an int")
+        return expr
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._at("||"):
+            self._advance()
+            left = build.lor(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._at("&&"):
+            self._advance()
+            left = build.land(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept("!"):
+            return build.lnot(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        ops = {"==": build.eq, "!=": build.ne, "<=": build.le, ">=": build.ge,
+               "<": build.lt, ">": build.gt}
+        for symbol, builder in ops.items():
+            if self._at(symbol):
+                self._advance()
+                right = self._parse_additive()
+                return builder(left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._at("+"):
+                self._advance()
+                left = build.add(left, self._parse_multiplicative())
+            elif self._at("-"):
+                self._advance()
+                left = build.sub(left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._at("*"):
+            self._advance()
+            left = build.mul(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("-"):
+            return build.neg(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._advance()
+        if token.kind == "int":
+            return build.i(int(token.text))
+        if token.text == "(":
+            expr = self._parse_or()
+            self._expect(")")
+            return expr
+        if token.text == "true":
+            return build.TRUE
+        if token.text == "false":
+            return build.FALSE
+        if token.kind == "ident":
+            name = token.text
+            if name in KEYWORDS:
+                raise self._error(f"unexpected keyword {name!r} in expression", token)
+            if name in self._constants:
+                return build.i(self._constants[name])
+            if self._accept("["):
+                index = self._parse_expr()
+                self._expect("]")
+                elem_sort = self._sort_of(name, array=True, token=token)
+                return ArraySelect(name, index, elem_sort)
+            return Var(name, self._sort_of(name, token=token))
+        raise self._error(f"unexpected token {token.text!r} in expression", token)
+
+    # -- symbol lookup ------------------------------------------------------
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._advance()
+        if token.kind != "ident" or token.text in KEYWORDS:
+            raise self._error(f"expected {what} but found {token.text!r}", token)
+        return token.text
+
+    def _sort_of(self, name: str, array: bool = False, token: Optional[Token] = None) -> Sort:
+        if array:
+            if name not in self._array_fields:
+                raise self._error(f"unknown array field {name!r}", token)
+            return self._array_fields[name]
+        for scope in reversed(self._scope):
+            if name in scope:
+                return scope[name]
+        if name in self._field_sorts:
+            return self._field_sorts[name]
+        raise self._error(f"unknown variable {name!r}", token)

@@ -1,0 +1,78 @@
+"""Pretty printing of monitors and statements back into DSL-style text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.logic.pretty import pretty
+from repro.logic.terms import BOOL
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    CCR,
+    If,
+    LocalDecl,
+    MethodDecl,
+    Monitor,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+
+
+def pretty_stmt(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement as indented DSL text."""
+    pad = "    " * indent
+    if isinstance(stmt, Skip):
+        return f"{pad}skip;"
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.target} = {pretty(stmt.value)};"
+    if isinstance(stmt, ArrayAssign):
+        return f"{pad}{stmt.array}[{pretty(stmt.index)}] = {pretty(stmt.value)};"
+    if isinstance(stmt, LocalDecl):
+        type_name = "boolean" if stmt.sort is BOOL else "int"
+        return f"{pad}{type_name} {stmt.name} = {pretty(stmt.init)};"
+    if isinstance(stmt, Seq):
+        return "\n".join(pretty_stmt(child, indent) for child in stmt.stmts)
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({pretty(stmt.cond)}) {{",
+                 pretty_stmt(stmt.then, indent + 1),
+                 f"{pad}}}"]
+        if not isinstance(stmt.orelse, Skip):
+            lines += [f"{pad}else {{", pretty_stmt(stmt.orelse, indent + 1), f"{pad}}}"]
+        return "\n".join(lines)
+    if isinstance(stmt, While):
+        header = f"{pad}while ({pretty(stmt.cond)})"
+        if stmt.invariant is not None:
+            header += f" invariant ({pretty(stmt.invariant)})"
+        return "\n".join([header + " {", pretty_stmt(stmt.body, indent + 1), f"{pad}}}"])
+    raise TypeError(f"cannot pretty-print statement {type(stmt).__name__}")
+
+
+def pretty_monitor(monitor: Monitor) -> str:
+    """Render a monitor as DSL source text (round-trips through the parser)."""
+    lines: List[str] = [f"monitor {monitor.name} {{"]
+    for name, value in monitor.constants:
+        lines.append(f"    const int {name} = {value};")
+    for decl in monitor.fields:
+        type_name = "boolean" if decl.sort is BOOL else ("unsigned int" if decl.unsigned else "int")
+        suffix = f"[{decl.array_size}]" if decl.is_array else ""
+        lines.append(f"    {type_name} {decl.name}{suffix} = {pretty(decl.init)};")
+    for method in monitor.methods:
+        params = ", ".join(
+            f"{'boolean' if p.sort is BOOL else 'int'} {p.name}" for p in method.params
+        )
+        lines.append("")
+        lines.append(f"    atomic void {method.name}({params}) {{")
+        for ccr in method.ccrs:
+            if ccr.is_trivial():
+                lines.append(pretty_stmt(ccr.body, 2))
+            else:
+                lines.append(f"        waituntil ({pretty(ccr.guard)}) {{")
+                if not isinstance(ccr.body, Skip):
+                    lines.append(pretty_stmt(ccr.body, 3))
+                lines.append("        }")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)

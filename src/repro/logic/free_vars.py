@@ -1,0 +1,45 @@
+"""Free-variable computation for logic expressions."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.logic.terms import BOOL, INT, Exists, Expr, Forall, Var
+
+
+def free_vars(expr: Expr) -> FrozenSet[Var]:
+    """Return the set of free variables of *expr*.
+
+    Quantifier binders are respected: variables bound by an enclosing
+    ``Forall``/``Exists`` are not reported.
+    """
+    result: set[Var] = set()
+    _collect(expr, frozenset(), result)
+    return frozenset(result)
+
+
+def _collect(expr: Expr, bound: FrozenSet[Var], out: set[Var]) -> None:
+    if isinstance(expr, Var):
+        if expr not in bound:
+            out.add(expr)
+        return
+    if isinstance(expr, (Forall, Exists)):
+        _collect(expr.body, bound | set(expr.bound), out)
+        return
+    for child in expr.children():
+        _collect(child, bound, out)
+
+
+def free_int_vars(expr: Expr) -> FrozenSet[Var]:
+    """Free variables of integer sort."""
+    return frozenset(var for var in free_vars(expr) if var.var_sort is INT)
+
+
+def free_bool_vars(expr: Expr) -> FrozenSet[Var]:
+    """Free variables of boolean sort."""
+    return frozenset(var for var in free_vars(expr) if var.var_sort is BOOL)
+
+
+def free_var_names(expr: Expr) -> FrozenSet[str]:
+    """Names of the free variables of *expr*."""
+    return frozenset(var.name for var in free_vars(expr))

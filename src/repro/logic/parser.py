@@ -1,0 +1,243 @@
+"""A small recursive-descent parser for formula text.
+
+The concrete syntax matches :func:`repro.logic.pretty.pretty` and the guard
+syntax of the monitor DSL::
+
+    readers >= 0 && !writerIn
+    forall x: Int. x + 1 > x
+    queue.size < maxQueueSize ==> !stopped
+
+Identifiers may contain dots (field paths such as ``queue.size`` are plain
+variables at the logic level).  Sorts are taken from the optional ``sorts``
+mapping; identifiers that are used in boolean positions but not declared are
+inferred to be boolean, everything else defaults to integer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.logic import build
+from repro.logic.terms import BOOL, INT, Expr, Sort, Var
+
+
+class FormulaParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)*)
+  | (?P<op><==>|==>|==|!=|<=|>=|&&|\|\||[()<>+\-*!,.:])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false", "forall", "exists", "ite"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise FormulaParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "op"
+        tokens.append((kind, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], sorts: Mapping[str, Sort]):
+        self._tokens = tokens
+        self._index = 0
+        self._sorts: Dict[str, Sort] = dict(sorts)
+        self._bound: List[Dict[str, Sort]] = []
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text = self._advance()
+        if text != value:
+            raise FormulaParseError(f"expected {value!r} but found {text!r}")
+
+    def _at(self, value: str) -> bool:
+        return self._peek()[1] == value
+
+    def _accept(self, value: str) -> bool:
+        if self._at(value):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.parse_iff()
+        kind, text = self._peek()
+        if kind != "eof":
+            raise FormulaParseError(f"trailing input starting at {text!r}")
+        return expr
+
+    def parse_iff(self) -> Expr:
+        left = self.parse_implies()
+        while self._accept("<==>"):
+            right = self.parse_implies()
+            left = build.iff(self._as_bool(left), self._as_bool(right))
+        return left
+
+    def parse_implies(self) -> Expr:
+        left = self.parse_or()
+        if self._accept("==>"):
+            right = self.parse_implies()
+            return build.implies(self._as_bool(left), self._as_bool(right))
+        return left
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self._accept("||"):
+            left = build.lor(self._as_bool(left), self._as_bool(self.parse_and()))
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self._accept("&&"):
+            left = build.land(self._as_bool(left), self._as_bool(self.parse_not()))
+        return left
+
+    def parse_not(self) -> Expr:
+        if self._accept("!"):
+            operand = self.parse_not()
+            return build.lnot(self._as_bool(operand))
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        ops = {"==": build.eq, "!=": build.ne, "<": build.lt, "<=": build.le,
+               ">": build.gt, ">=": build.ge}
+        for symbol, builder in ops.items():
+            if self._at(symbol):
+                self._advance()
+                right = self.parse_additive()
+                return builder(left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            if self._accept("+"):
+                left = build.add(left, self.parse_multiplicative())
+            elif self._accept("-"):
+                left = build.sub(left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self._accept("*"):
+            left = build.mul(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self._accept("-"):
+            return build.neg(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        kind, text = self._peek()
+        if kind == "int":
+            self._advance()
+            return build.i(int(text))
+        if text == "(":
+            self._advance()
+            inner = self.parse_iff()
+            self._expect(")")
+            return inner
+        if kind == "ident":
+            self._advance()
+            if text == "true":
+                return build.TRUE
+            if text == "false":
+                return build.FALSE
+            if text in ("forall", "exists"):
+                return self._parse_quantifier(text)
+            if text == "ite":
+                return self._parse_ite()
+            return self._make_var(text)
+        raise FormulaParseError(f"unexpected token {text!r}")
+
+    def _parse_ite(self) -> Expr:
+        self._expect("(")
+        cond = self.parse_iff()
+        self._expect(",")
+        then = self.parse_iff()
+        self._expect(",")
+        orelse = self.parse_iff()
+        self._expect(")")
+        return build.ite(self._as_bool(cond), then, orelse)
+
+    def _parse_quantifier(self, keyword: str) -> Expr:
+        binder: Dict[str, Sort] = {}
+        bound_vars: List[Var] = []
+        while True:
+            kind, name = self._advance()
+            if kind != "ident":
+                raise FormulaParseError(f"expected bound variable name, got {name!r}")
+            sort = INT
+            if self._accept(":"):
+                kind, sort_name = self._advance()
+                if sort_name not in ("Int", "Bool"):
+                    raise FormulaParseError(f"unknown sort {sort_name!r}")
+                sort = INT if sort_name == "Int" else BOOL
+            binder[name] = sort
+            bound_vars.append(Var(name, sort))
+            if not self._accept(","):
+                break
+        self._expect(".")
+        self._bound.append(binder)
+        try:
+            body = self._as_bool(self.parse_iff())
+        finally:
+            self._bound.pop()
+        builder = build.forall if keyword == "forall" else build.exists
+        return builder(bound_vars, body)
+
+    def _make_var(self, name: str) -> Var:
+        for scope in reversed(self._bound):
+            if name in scope:
+                return Var(name, scope[name])
+        return Var(name, self._sorts.get(name, INT))
+
+    @staticmethod
+    def _as_bool(expr: Expr) -> Expr:
+        """Coerce a bare integer-sorted variable appearing in a boolean position."""
+        if isinstance(expr, Var) and expr.var_sort is INT:
+            return Var(expr.name, BOOL)
+        return expr
+
+
+def parse_formula(text: str, sorts: Optional[Mapping[str, Sort]] = None) -> Expr:
+    """Parse a boolean formula, coercing a bare top-level variable to boolean."""
+    expr = _Parser(_tokenize(text), sorts or {}).parse()
+    return _Parser._as_bool(expr)
+
+
+def parse_term(text: str, sorts: Optional[Mapping[str, Sort]] = None) -> Expr:
+    """Parse an (integer- or boolean-sorted) term without boolean coercion."""
+    return _Parser(_tokenize(text), sorts or {}).parse()

@@ -1,0 +1,139 @@
+"""Pretty printing of logic expressions.
+
+Two formats are provided:
+
+* :func:`pretty` — compact infix syntax matching the paper's notation and the
+  monitor DSL (``readers >= 0 && !writerIn``); it round-trips through
+  :func:`repro.logic.parser.parse_formula`.
+* :func:`to_smtlib` — SMT-LIB 2 s-expressions, matching the presentation of
+  the AsyncDispatch invariant in the paper's Appendix D.
+"""
+
+from __future__ import annotations
+
+from repro.logic.terms import (
+    Add,
+    And,
+    BoolConst,
+    Eq,
+    Exists,
+    Expr,
+    Forall,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntConst,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Ne,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+
+# Precedence levels (higher binds tighter).
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_CMP = 6
+_PREC_ADD = 7
+_PREC_MUL = 8
+_PREC_UNARY = 9
+_PREC_ATOM = 10
+
+
+def pretty(expr: Expr) -> str:
+    """Render *expr* in infix notation."""
+    return _render(expr, 0)
+
+
+def _paren(text: str, prec: int, parent_prec: int) -> str:
+    return f"({text})" if prec < parent_prec else text
+
+
+def _render(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntConst):
+        return str(expr.value) if expr.value >= 0 else _paren(str(expr.value), _PREC_UNARY, parent_prec)
+    if isinstance(expr, BoolConst):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Add):
+        text = " + ".join(_render(arg, _PREC_ADD) for arg in expr.args)
+        return _paren(text, _PREC_ADD, parent_prec)
+    if isinstance(expr, Sub):
+        text = f"{_render(expr.left, _PREC_ADD)} - {_render(expr.right, _PREC_ADD + 1)}"
+        return _paren(text, _PREC_ADD, parent_prec)
+    if isinstance(expr, Neg):
+        return _paren(f"-{_render(expr.operand, _PREC_UNARY)}", _PREC_UNARY, parent_prec)
+    if isinstance(expr, Mul):
+        text = f"{_render(expr.left, _PREC_MUL)} * {_render(expr.right, _PREC_MUL)}"
+        return _paren(text, _PREC_MUL, parent_prec)
+    if isinstance(expr, Ite):
+        text = (
+            f"ite({_render(expr.cond, 0)}, {_render(expr.then, 0)}, {_render(expr.orelse, 0)})"
+        )
+        return text
+    comparison_ops = {Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+    for cls, symbol in comparison_ops.items():
+        if isinstance(expr, cls):
+            text = f"{_render(expr.left, _PREC_CMP + 1)} {symbol} {_render(expr.right, _PREC_CMP + 1)}"
+            return _paren(text, _PREC_CMP, parent_prec)
+    if isinstance(expr, Not):
+        return _paren(f"!{_render(expr.operand, _PREC_NOT)}", _PREC_NOT, parent_prec)
+    if isinstance(expr, And):
+        text = " && ".join(_render(arg, _PREC_AND) for arg in expr.args)
+        return _paren(text, _PREC_AND, parent_prec)
+    if isinstance(expr, Or):
+        text = " || ".join(_render(arg, _PREC_OR) for arg in expr.args)
+        return _paren(text, _PREC_OR, parent_prec)
+    if isinstance(expr, Implies):
+        text = f"{_render(expr.antecedent, _PREC_IMPLIES + 1)} ==> {_render(expr.consequent, _PREC_IMPLIES)}"
+        return _paren(text, _PREC_IMPLIES, parent_prec)
+    if isinstance(expr, Iff):
+        text = f"{_render(expr.left, _PREC_IFF + 1)} <==> {_render(expr.right, _PREC_IFF + 1)}"
+        return _paren(text, _PREC_IFF, parent_prec)
+    if isinstance(expr, Forall):
+        binder = ", ".join(f"{var.name}: {var.var_sort.value}" for var in expr.bound)
+        return _paren(f"forall {binder}. {_render(expr.body, 0)}", _PREC_IFF, parent_prec)
+    if isinstance(expr, Exists):
+        binder = ", ".join(f"{var.name}: {var.var_sort.value}" for var in expr.bound)
+        return _paren(f"exists {binder}. {_render(expr.body, 0)}", _PREC_IFF, parent_prec)
+    raise TypeError(f"cannot pretty-print node {type(expr).__name__}")
+
+
+def to_smtlib(expr: Expr) -> str:
+    """Render *expr* as an SMT-LIB 2 s-expression."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntConst):
+        return str(expr.value) if expr.value >= 0 else f"(- {-expr.value})"
+    if isinstance(expr, BoolConst):
+        return "true" if expr.value else "false"
+    ops = {
+        Add: "+", Sub: "-", Neg: "-", Mul: "*",
+        Eq: "=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+        Not: "not", And: "and", Or: "or", Implies: "=>",
+    }
+    if isinstance(expr, Ne):
+        return f"(not (= {to_smtlib(expr.left)} {to_smtlib(expr.right)}))"
+    if isinstance(expr, Iff):
+        return f"(= {to_smtlib(expr.left)} {to_smtlib(expr.right)})"
+    if isinstance(expr, Ite):
+        return f"(ite {to_smtlib(expr.cond)} {to_smtlib(expr.then)} {to_smtlib(expr.orelse)})"
+    if isinstance(expr, (Forall, Exists)):
+        keyword = "forall" if isinstance(expr, Forall) else "exists"
+        binder = " ".join(f"({var.name} {var.var_sort.value})" for var in expr.bound)
+        return f"({keyword} ({binder}) {to_smtlib(expr.body)})"
+    for cls, symbol in ops.items():
+        if isinstance(expr, cls):
+            parts = " ".join(to_smtlib(child) for child in expr.children())
+            return f"({symbol} {parts})"
+    raise TypeError(f"cannot render node {type(expr).__name__} as SMT-LIB")

@@ -1,0 +1,113 @@
+"""Bottom-up formula simplification.
+
+The simplifier re-applies the smart constructors of :mod:`repro.logic.build`
+over the whole tree (constant folding, neutral/absorbing element removal,
+flattening, double-negation and comparison-negation elimination), plus a few
+linear-arithmetic normalizations:
+
+* comparisons between linear terms are normalized to have a constant-free
+  left side when both sides fold to constants on one side;
+* syntactically contradictory / tautological conjuncts such as ``x < x`` are
+  removed by the constant folding of the builders.
+
+The simplifier is *not* a decision procedure; it preserves logical
+equivalence and is safe to call anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.logic import build
+from repro.logic.terms import (
+    Add,
+    And,
+    BoolConst,
+    Eq,
+    Exists,
+    Expr,
+    Forall,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntConst,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Ne,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return an equivalent, usually smaller, expression."""
+    return _simplify(expr)
+
+
+def _simplify(expr: Expr) -> Expr:
+    if isinstance(expr, (Var, IntConst, BoolConst)):
+        return expr
+    if isinstance(expr, Add):
+        return build.add(*[_simplify(arg) for arg in expr.args])
+    if isinstance(expr, Sub):
+        return build.sub(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Neg):
+        return build.neg(_simplify(expr.operand))
+    if isinstance(expr, Mul):
+        return build.mul(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Ite):
+        return build.ite(_simplify(expr.cond), _simplify(expr.then), _simplify(expr.orelse))
+    if isinstance(expr, Eq):
+        return build.eq(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Ne):
+        return build.ne(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Lt):
+        return build.lt(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Le):
+        return build.le(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Gt):
+        return build.gt(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Ge):
+        return build.ge(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Not):
+        return build.lnot(_simplify(expr.operand))
+    if isinstance(expr, And):
+        return _simplify_and(expr)
+    if isinstance(expr, Or):
+        return _simplify_or(expr)
+    if isinstance(expr, Implies):
+        return build.implies(_simplify(expr.antecedent), _simplify(expr.consequent))
+    if isinstance(expr, Iff):
+        return build.iff(_simplify(expr.left), _simplify(expr.right))
+    if isinstance(expr, Forall):
+        return build.forall(expr.bound, _simplify(expr.body))
+    if isinstance(expr, Exists):
+        return build.exists(expr.bound, _simplify(expr.body))
+    raise TypeError(f"cannot simplify node {type(expr).__name__}")
+
+
+def _simplify_and(expr: And) -> Expr:
+    simplified = build.land(*[_simplify(arg) for arg in expr.args])
+    if not isinstance(simplified, And):
+        return simplified
+    # drop conjuncts whose negation is also present -> false, and detect p & !p
+    literals = set(simplified.args)
+    for lit in simplified.args:
+        if build.lnot(lit) in literals:
+            return build.FALSE
+    return simplified
+
+
+def _simplify_or(expr: Or) -> Expr:
+    simplified = build.lor(*[_simplify(arg) for arg in expr.args])
+    if not isinstance(simplified, Or):
+        return simplified
+    literals = set(simplified.args)
+    for lit in simplified.args:
+        if build.lnot(lit) in literals:
+            return build.TRUE
+    return simplified

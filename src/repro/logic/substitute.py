@@ -1,0 +1,110 @@
+"""Capture-avoiding substitution and variable renaming."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Mapping
+
+from repro.logic.free_vars import free_vars
+from repro.logic.terms import (
+    Add,
+    And,
+    BoolConst,
+    Eq,
+    Exists,
+    Expr,
+    Forall,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntConst,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Ne,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+
+
+def substitute(expr: Expr, mapping: Mapping[Var, Expr]) -> Expr:
+    """Simultaneously replace free occurrences of variables in *expr*.
+
+    The substitution is capture-avoiding: if a replacement expression
+    mentions a variable that a quantifier in *expr* binds, the bound variable
+    is renamed to a fresh name first.
+    """
+    if not mapping:
+        return expr
+    return _subst(expr, dict(mapping))
+
+
+def rename_vars(expr: Expr, renaming: Mapping[str, str]) -> Expr:
+    """Rename free variables by name, preserving sorts."""
+    mapping: Dict[Var, Expr] = {}
+    for var in free_vars(expr):
+        if var.name in renaming:
+            mapping[var] = Var(renaming[var.name], var.var_sort)
+    return substitute(expr, mapping)
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def fresh_var(base: Var, avoid: set[str]) -> Var:
+    """Return a variable with a new name derived from *base* avoiding *avoid*."""
+    while True:
+        candidate = f"{base.name}#{next(_FRESH_COUNTER)}"
+        if candidate not in avoid:
+            return Var(candidate, base.var_sort)
+
+
+def _subst(expr: Expr, mapping: Dict[Var, Expr]) -> Expr:
+    if isinstance(expr, Var):
+        return mapping.get(expr, expr)
+    if isinstance(expr, (IntConst, BoolConst)):
+        return expr
+    if isinstance(expr, (Forall, Exists)):
+        return _subst_quantifier(expr, mapping)
+    return _rebuild(expr, tuple(_subst(child, mapping) for child in expr.children()))
+
+
+def _subst_quantifier(expr, mapping: Dict[Var, Expr]) -> Expr:
+    live = {var: rep for var, rep in mapping.items() if var not in expr.bound}
+    if not live:
+        return expr
+    replacement_vars = {v.name for rep in live.values() for v in free_vars(rep)}
+    bound = list(expr.bound)
+    body = expr.body
+    rename: Dict[Var, Expr] = {}
+    for idx, bvar in enumerate(bound):
+        if bvar.name in replacement_vars:
+            avoid = replacement_vars | {v.name for v in free_vars(body)}
+            fresh = fresh_var(bvar, avoid)
+            rename[bvar] = fresh
+            bound[idx] = fresh
+    if rename:
+        body = _subst(body, rename)
+    body = _subst(body, live)
+    cls = type(expr)
+    return cls(tuple(bound), body)
+
+
+def _rebuild(expr: Expr, new_children) -> Expr:
+    """Reconstruct *expr* with *new_children* in place of its children."""
+    if isinstance(expr, (Add, And, Or)):
+        return type(expr)(tuple(new_children))
+    if isinstance(expr, (Sub, Mul, Eq, Ne, Lt, Le, Gt, Ge, Iff)):
+        return type(expr)(new_children[0], new_children[1])
+    if isinstance(expr, Implies):
+        return Implies(new_children[0], new_children[1])
+    if isinstance(expr, (Neg, Not)):
+        return type(expr)(new_children[0])
+    if isinstance(expr, Ite):
+        return Ite(new_children[0], new_children[1], new_children[2])
+    raise TypeError(f"cannot rebuild node {type(expr).__name__}")

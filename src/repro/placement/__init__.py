@@ -1,0 +1,33 @@
+"""Signal placement: the paper's core contribution (Algorithm 1 + §4.2/§4.3).
+
+* :mod:`repro.placement.target` — the explicit-signal target language
+  (notifications ``(p, cond, bcast)``, explicit CCRs/monitors);
+* :mod:`repro.placement.algorithm` — the ``PlaceSignals`` algorithm with
+  thread-local renaming and the commutativity-based broadcast elimination;
+* :mod:`repro.placement.instrument` — instrumentation of the source monitor
+  with the computed notifications (Figure 7);
+* :mod:`repro.placement.pipeline` — the end-to-end Expresso pipeline
+  (parse → infer invariant → place signals → instrument → generate code).
+"""
+
+from repro.placement.target import (
+    ExplicitCCR,
+    ExplicitMethod,
+    ExplicitMonitor,
+    Notification,
+)
+from repro.placement.algorithm import (
+    PlacementDecision,
+    PlacementResult,
+    generate_placement_triples,
+    place_signals,
+)
+from repro.placement.instrument import instrument
+from repro.placement.pipeline import ExpressoPipeline, ExpressoResult, compile_monitor
+
+__all__ = [
+    "Notification", "ExplicitCCR", "ExplicitMethod", "ExplicitMonitor",
+    "PlacementDecision", "PlacementResult", "place_signals", "generate_placement_triples",
+    "instrument",
+    "ExpressoPipeline", "ExpressoResult", "compile_monitor",
+]

@@ -1,0 +1,60 @@
+"""Instrumentation of the source monitor with placed notifications (Fig. 7).
+
+Given the implicit-signal monitor and the mapping Σ computed by
+:func:`repro.placement.algorithm.place_signals`, instrumentation produces the
+explicit-signal monitor: every ``waituntil(p'){s}`` becomes
+``waituntil(p'){s; signal(S1); broadcast(S2)}`` and every distinct waited-on
+guard receives a condition variable (used later by code generation, §6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.logic.terms import Expr
+from repro.lang.ast import Monitor
+from repro.placement.algorithm import PlacementResult
+from repro.placement.target import ExplicitCCR, ExplicitMethod, ExplicitMonitor
+
+
+def condition_var_names(monitor: Monitor) -> Tuple[Tuple[Expr, str], ...]:
+    """Assign a condition-variable name to every distinct waited-on guard."""
+    names: List[Tuple[Expr, str]] = []
+    used: Dict[str, int] = {}
+    for _method, ccr in monitor.ccrs():
+        if ccr.is_trivial():
+            continue
+        if any(guard == ccr.guard for guard, _name in names):
+            continue
+        base = f"cond{len(names)}"
+        # Prefer a name derived from the waiting method for readability.
+        method_name = ccr.label.split("#")[0]
+        candidate = f"{method_name}Cond"
+        if candidate in used:
+            used[candidate] += 1
+            candidate = f"{candidate}{used[candidate]}"
+        else:
+            used[candidate] = 0
+        names.append((ccr.guard, candidate or base))
+    return tuple(names)
+
+
+def instrument(monitor: Monitor, placement: PlacementResult) -> ExplicitMonitor:
+    """Attach the placed notifications to every CCR (the paper's Figure 7)."""
+    methods: List[ExplicitMethod] = []
+    for method in monitor.methods:
+        explicit_ccrs: List[ExplicitCCR] = []
+        for ccr in method.ccrs:
+            notifications = placement.notifications_for(ccr.label)
+            explicit_ccrs.append(
+                ExplicitCCR(ccr.guard, ccr.body, ccr.label, tuple(notifications))
+            )
+        methods.append(ExplicitMethod(method.name, method.params, tuple(explicit_ccrs)))
+    return ExplicitMonitor(
+        name=monitor.name,
+        fields=monitor.fields,
+        methods=tuple(methods),
+        condition_vars=condition_var_names(monitor),
+        invariant=placement.invariant,
+        constants=monitor.constants,
+    )

@@ -1,0 +1,103 @@
+"""The explicit-signal target language (paper §3.3).
+
+A target-language ``waituntil`` carries two notification sets: ``Signals(w)``
+(wake a single thread blocked on the predicate) and ``Broadcasts(w)`` (wake
+all of them).  Each notification is a pair ``(p, c)`` with ``c ∈ {?, ✓}``:
+``?`` means the predicate is evaluated at run time before notifying, ``✓``
+means the notification is unconditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.logic.pretty import pretty
+from repro.logic.terms import Expr
+from repro.lang.ast import FieldDecl, Param, Stmt
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A placed notification ``(predicate, conditional, broadcast)``.
+
+    ``conditional`` corresponds to the paper's ``?`` marker (evaluate the
+    predicate at run time before waking anyone); ``broadcast`` selects
+    ``signalAll`` over ``signal``.
+    """
+
+    predicate: Expr
+    conditional: bool
+    broadcast: bool
+
+    @property
+    def marker(self) -> str:
+        """The paper's ``?`` / ``✓`` marker for this notification."""
+        return "?" if self.conditional else "✓"
+
+    def describe(self) -> str:
+        kind = "broadcast" if self.broadcast else "signal"
+        return f"{kind}[{self.marker}]({pretty(self.predicate)})"
+
+
+@dataclass(frozen=True)
+class ExplicitCCR:
+    """A target-language ``waituntil(guard){body; signal(S1); broadcast(S2)}``."""
+
+    guard: Expr
+    body: Stmt
+    label: str
+    notifications: Tuple[Notification, ...] = ()
+
+    @property
+    def signals(self) -> Tuple[Notification, ...]:
+        """``Signals(w)`` — single-thread notifications."""
+        return tuple(n for n in self.notifications if not n.broadcast)
+
+    @property
+    def broadcasts(self) -> Tuple[Notification, ...]:
+        """``Broadcasts(w)`` — notify-all notifications."""
+        return tuple(n for n in self.notifications if n.broadcast)
+
+
+@dataclass(frozen=True)
+class ExplicitMethod:
+    """An explicit-signal monitor method."""
+
+    name: str
+    params: Tuple[Param, ...]
+    ccrs: Tuple[ExplicitCCR, ...]
+
+
+@dataclass(frozen=True)
+class ExplicitMonitor:
+    """An explicit-signal monitor: the output of the placement algorithm.
+
+    ``condition_vars`` assigns a condition-variable name to every distinct
+    waited-on guard (the §6 code-generation scheme); ``invariant`` records the
+    monitor invariant used to justify the placement.
+    """
+
+    name: str
+    fields: Tuple[FieldDecl, ...]
+    methods: Tuple[ExplicitMethod, ...]
+    condition_vars: Tuple[Tuple[Expr, str], ...]
+    invariant: Expr
+    constants: Tuple[Tuple[str, int], ...] = ()
+
+    def condition_var_for(self, guard: Expr) -> Optional[str]:
+        """The condition-variable name associated with *guard*, if any."""
+        for predicate, name in self.condition_vars:
+            if predicate == guard:
+                return name
+        return None
+
+    def method(self, name: str) -> ExplicitMethod:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        raise KeyError(name)
+
+    def total_notifications(self) -> int:
+        """Total number of placed notifications (a code-quality metric)."""
+        return sum(len(ccr.notifications) for method in self.methods for ccr in method.ccrs)

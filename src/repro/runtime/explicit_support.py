@@ -1,0 +1,83 @@
+"""Support classes for generated explicit-signal monitors.
+
+:class:`GuardWaiters` is the run-time data structure of paper §6
+("Instrumentation for predicates with local variables"): it tracks, for one
+waited-on guard, the thread-local variable snapshots of every blocked thread,
+so that a signalling thread can decide whether a *conditional* notification
+should fire even though the predicate mentions variables it cannot see.
+
+:class:`MonitorMetrics` counts the events the evaluation cares about
+(wake-ups, spurious wake-ups, run-time predicate evaluations, signals and
+broadcasts); the saturation harness reads it after each run.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class MonitorMetrics:
+    """Counters shared by all runtimes; thread-safe under the monitor lock."""
+
+    operations: int = 0
+    waits: int = 0
+    wakeups: int = 0
+    spurious_wakeups: int = 0
+    signals: int = 0
+    broadcasts: int = 0
+    predicate_evaluations: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "operations": self.operations,
+            "waits": self.waits,
+            "wakeups": self.wakeups,
+            "spurious_wakeups": self.spurious_wakeups,
+            "signals": self.signals,
+            "broadcasts": self.broadcasts,
+            "predicate_evaluations": self.predicate_evaluations,
+        }
+
+    def reset(self) -> None:
+        for name in self.snapshot():
+            setattr(self, name, 0)
+
+
+class GuardWaiters:
+    """Waiter-snapshot registry for one guard with thread-local variables.
+
+    Blocked threads register their local-variable snapshot before waiting and
+    deregister after being admitted; a signalling thread asks
+    :meth:`any_satisfied` whether at least one registered snapshot satisfies
+    the guard in the current shared state.  All calls must hold the monitor
+    lock (the generated code guarantees this).
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: List[Dict[str, object]] = []
+
+    def register(self, snapshot: Dict[str, object]) -> Dict[str, object]:
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def deregister(self, snapshot: Dict[str, object]) -> None:
+        try:
+            self._snapshots.remove(snapshot)
+        except ValueError:  # already removed (defensive; should not happen)
+            pass
+
+    def any_satisfied(self, predicate: Callable[[Dict[str, object]], bool],
+                      metrics: Optional[MonitorMetrics] = None) -> bool:
+        """True when some registered waiter's snapshot satisfies *predicate*."""
+        for snapshot in self._snapshots:
+            if metrics is not None:
+                metrics.predicate_evaluations += 1
+            if predicate(snapshot):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

@@ -1,0 +1,33 @@
+"""Reference trace semantics for implicit- and explicit-signal monitors (§3).
+
+This package is the executable counterpart of the paper's formal model:
+
+* :mod:`repro.semantics.state` — monitor states (shared + per-thread locals)
+  and a concrete statement interpreter;
+* :mod:`repro.semantics.traces` — events, traces, and syntactic
+  well-formedness (Appendix A);
+* :mod:`repro.semantics.implicit` — the implicit-signal transition relation
+  (Figure 4) and trace normalization (Definition 3.3);
+* :mod:`repro.semantics.explicit` — the explicit-signal transition relation
+  (Figures 5 and 6) driven by placed notifications;
+* :mod:`repro.semantics.equivalence` — bounded differential checking of
+  Definition 3.4, used to cross-validate the placement algorithm on small
+  thread/step budgets.
+"""
+
+from repro.semantics.state import MonitorState, execute_statement
+from repro.semantics.traces import Event, trace_is_well_formed, thread_projection
+from repro.semantics.implicit import ImplicitSemantics, TraceOutcome
+from repro.semantics.explicit import ExplicitSemantics
+from repro.semantics.equivalence import (
+    EquivalenceReport,
+    check_bounded_equivalence,
+    enumerate_feasible_traces,
+)
+
+__all__ = [
+    "MonitorState", "execute_statement",
+    "Event", "trace_is_well_formed", "thread_projection",
+    "ImplicitSemantics", "ExplicitSemantics", "TraceOutcome",
+    "EquivalenceReport", "check_bounded_equivalence", "enumerate_feasible_traces",
+]

@@ -1,0 +1,152 @@
+"""Bounded differential checking of Definition 3.4.
+
+The placement algorithm is proven correct in the paper (Theorem 4.1); this
+module provides an *executable* cross-check used by the test suite: for a
+small thread setup it enumerates every syntactically well-formed trace up to
+a bounded number of events and verifies both directions of Definition 3.4:
+
+1. every trace feasible under the explicit semantics is feasible under the
+   implicit semantics and reaches the same shared state;
+2. every *normalized* trace feasible under the implicit semantics is feasible
+   under the explicit semantics and reaches the same shared state.
+
+A violation of (2) would mean the generated monitor can deadlock threads the
+implicit monitor would have woken — the bug class signal placement must avoid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lang.ast import Monitor
+from repro.placement.target import ExplicitMonitor
+from repro.semantics.explicit import ExplicitSemantics
+from repro.semantics.implicit import Configuration, ImplicitSemantics
+from repro.semantics.state import MonitorState, Value
+from repro.semantics.traces import Event
+
+
+@dataclass(frozen=True)
+class ThreadPlan:
+    """What one thread intends to do: run *methods* in order with given locals."""
+
+    thread: int
+    methods: Tuple[str, ...]
+    locals: Tuple[Tuple[str, Value], ...] = ()
+
+    def local_map(self) -> Dict[str, Value]:
+        return dict(self.locals)
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of a bounded equivalence check."""
+
+    explored_traces: int = 0
+    implicit_only: List[Tuple[Event, ...]] = field(default_factory=list)
+    explicit_only: List[Tuple[Event, ...]] = field(default_factory=list)
+    state_mismatches: List[Tuple[Event, ...]] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.implicit_only and not self.explicit_only and not self.state_mismatches
+
+
+def _initial_state(monitor: Monitor, plans: Sequence[ThreadPlan]) -> MonitorState:
+    state = MonitorState.initial(monitor)
+    for plan in plans:
+        if plan.locals:
+            state.set_locals(plan.thread, plan.local_map())
+    return state
+
+
+def _candidate_events(monitor: Monitor, plans: Sequence[ThreadPlan],
+                      progress: Mapping[int, int]) -> List[Event]:
+    """The next event each thread could attempt, in both blocked/entered flavours."""
+    labels_per_method = {method.name: [ccr.label for ccr in method.ccrs]
+                         for method in monitor.methods}
+    flattened: Dict[int, List[str]] = {}
+    for plan in plans:
+        labels: List[str] = []
+        for method_name in plan.methods:
+            labels.extend(labels_per_method[method_name])
+        flattened[plan.thread] = labels
+    events: List[Event] = []
+    for plan in plans:
+        index = progress[plan.thread]
+        labels = flattened[plan.thread]
+        if index >= len(labels):
+            continue
+        label = labels[index]
+        events.append(Event(plan.thread, label, True))
+        events.append(Event(plan.thread, label, False))
+    return events
+
+
+def enumerate_feasible_traces(monitor: Monitor, semantics, plans: Sequence[ThreadPlan],
+                              max_events: int) -> Dict[Tuple[Event, ...], Tuple[Configuration, bool]]:
+    """All feasible traces (up to *max_events*) with their final configuration.
+
+    The returned mapping's value is ``(final configuration, used_rule_1b)``.
+    Traces are generated respecting per-thread program order, which makes them
+    syntactically well-formed by construction; feasibility is decided by the
+    supplied semantics (implicit or explicit).
+    """
+    state = _initial_state(monitor, plans)
+    initial = semantics.initial_configuration(state)
+    results: Dict[Tuple[Event, ...], Tuple[Configuration, bool]] = {(): (initial, False)}
+    frontier: List[Tuple[Tuple[Event, ...], Configuration, Dict[int, int], bool]] = [
+        ((), initial, {plan.thread: 0 for plan in plans}, False)
+    ]
+    while frontier:
+        trace, config, progress, used_1b = frontier.pop()
+        if len(trace) >= max_events:
+            continue
+        for event in _candidate_events(monitor, plans, progress):
+            for new_config, spurious in semantics.successors(config, event):
+                new_progress = dict(progress)
+                if event.entered:
+                    new_progress[event.thread] += 1
+                new_trace = trace + (event,)
+                new_used = used_1b or spurious
+                existing = results.get(new_trace)
+                # Prefer recording a normalized (no rule-1b) derivation when one exists.
+                if existing is None or (existing[1] and not new_used):
+                    results[new_trace] = (new_config, new_used)
+                frontier.append((new_trace, new_config, new_progress, new_used))
+    return results
+
+
+def check_bounded_equivalence(monitor: Monitor, explicit: ExplicitMonitor,
+                              plans: Sequence[ThreadPlan],
+                              max_events: int = 6) -> EquivalenceReport:
+    """Check both directions of Definition 3.4 over all bounded traces."""
+    implicit_sem = ImplicitSemantics(monitor)
+    explicit_sem = ExplicitSemantics(explicit)
+    implicit_traces = enumerate_feasible_traces(monitor, implicit_sem, plans, max_events)
+    explicit_traces = enumerate_feasible_traces(monitor, explicit_sem, plans, max_events)
+
+    report = EquivalenceReport(explored_traces=len(implicit_traces) + len(explicit_traces))
+
+    # Direction 1: explicit-feasible ==> implicit-feasible with the same state.
+    for trace, (explicit_config, _spurious) in explicit_traces.items():
+        implicit_entry = implicit_traces.get(trace)
+        if implicit_entry is None:
+            report.explicit_only.append(trace)
+            continue
+        if implicit_entry[0].state.shared != explicit_config.state.shared:
+            report.state_mismatches.append(trace)
+
+    # Direction 2: normalized implicit-feasible ==> explicit-feasible, same state.
+    for trace, (implicit_config, used_1b) in implicit_traces.items():
+        if used_1b:
+            continue
+        explicit_entry = explicit_traces.get(trace)
+        if explicit_entry is None:
+            report.implicit_only.append(trace)
+            continue
+        if explicit_entry[0].state.shared != implicit_config.state.shared:
+            report.state_mismatches.append(trace)
+    return report

@@ -1,0 +1,145 @@
+"""The explicit-signal transition relation (paper Figures 5 and 6).
+
+The only difference from the implicit relation is how the notified set grows
+after a CCR executes: instead of waking every blocked pair whose guard became
+true, the executed CCR's *placed* notifications determine who gets woken —
+``GetSignals`` wakes one blocked pair per signalled predicate,
+``GetBroadcasts`` wakes all of them, and conditional (``?``) notifications
+first evaluate the predicate in the post-state for the candidate thread.
+
+The choice of *which* waiter a single ``signal`` wakes is nondeterministic in
+real condition-variable implementations; the paper abstracts it with a total
+order chosen to make its proofs go through.  The executable model exposes the
+nondeterminism directly: :meth:`ExplicitSemantics.successors` returns one
+successor configuration per possible signal target, and a trace is feasible
+when *some* resolution of those choices consumes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.terms import Expr
+from repro.placement.target import ExplicitCCR, ExplicitMonitor
+from repro.semantics.implicit import Configuration, Pair, TraceOutcome
+from repro.semantics.state import MonitorState
+from repro.semantics.traces import Event
+
+
+class ExplicitSemantics:
+    """Executable form of the Figure 5 transition relation for a placed monitor."""
+
+    def __init__(self, explicit: ExplicitMonitor):
+        self.explicit = explicit
+        self._ccrs: Dict[str, ExplicitCCR] = {
+            ccr.label: ccr for method in explicit.methods for ccr in method.ccrs
+        }
+        self._shared_names = tuple(decl.name for decl in explicit.fields)
+
+    def ccr(self, label: str) -> ExplicitCCR:
+        return self._ccrs[label]
+
+    def initial_configuration(self, state: MonitorState) -> Configuration:
+        return Configuration(state, frozenset(), frozenset())
+
+    # -- auxiliary functions of Figure 6 --------------------------------------
+
+    def _events_on(self, blocked: FrozenSet[Pair], predicate: Expr) -> Tuple[Pair, ...]:
+        """Events(B, p): blocked pairs waiting on exactly the predicate *p*."""
+        matches = [pair for pair in blocked if self._ccrs[pair[1]].guard == predicate]
+        return tuple(sorted(matches))
+
+    def _signal_choices(self, ccr: ExplicitCCR, state: MonitorState,
+                        blocked: FrozenSet[Pair]) -> List[Set[Pair]]:
+        """All possible woken-sets produced by Signals(w) (one target per signal)."""
+        per_signal: List[List[Optional[Pair]]] = []
+        for notification in ccr.signals:
+            candidates = [
+                pair for pair in self._events_on(blocked, notification.predicate)
+                if not notification.conditional
+                or bool(state.evaluate(notification.predicate, pair[0]))
+            ]
+            per_signal.append(candidates if candidates else [None])
+        choices: List[Set[Pair]] = []
+        for combo in itertools.product(*per_signal) if per_signal else [()]:
+            woken = {pair for pair in combo if pair is not None}
+            if woken not in choices:
+                choices.append(woken)
+        return choices or [set()]
+
+    def _get_broadcasts(self, ccr: ExplicitCCR, state: MonitorState,
+                        blocked: FrozenSet[Pair]) -> Set[Pair]:
+        """GetBroadcasts(w, σ′, B): every matching waiter, subject to the ? check."""
+        woken: Set[Pair] = set()
+        for notification in ccr.broadcasts:
+            for pair in self._events_on(blocked, notification.predicate):
+                if notification.conditional:
+                    if not bool(state.evaluate(notification.predicate, pair[0])):
+                        continue
+                woken.add(pair)
+        return woken
+
+    # -- transition relation ---------------------------------------------------
+
+    def successors(self, config: Configuration, event: Event) -> List[Tuple[Configuration, bool]]:
+        """All successor configurations reachable by *event* (possibly several)."""
+        ccr = self._ccrs.get(event.ccr_label)
+        if ccr is None:
+            return []
+        state = config.state
+        guard_holds = bool(state.evaluate(ccr.guard, event.thread))
+        pair = event.key
+
+        if not event.entered:
+            if guard_holds:
+                return []
+            if pair not in config.blocked:
+                return [(Configuration(state, config.blocked | {pair}, config.notified), False)]
+            if pair in config.notified:
+                return [(Configuration(state, config.blocked, config.notified - {pair}), True)]
+            return []
+
+        if not guard_holds:
+            return []
+        if pair in config.blocked and pair not in config.notified:
+            return []
+        new_state = state.run(ccr.body, event.thread, self._shared_names)
+        remaining_blocked = config.blocked - {pair}
+        broadcast_woken = self._get_broadcasts(ccr, new_state, remaining_blocked)
+        results: List[Tuple[Configuration, bool]] = []
+        for signal_woken in self._signal_choices(ccr, new_state, remaining_blocked):
+            woken = signal_woken | broadcast_woken
+            if pair in config.blocked:
+                notified = (config.notified | woken) - {pair}
+                blocked = config.blocked - {pair}
+            else:
+                notified = config.notified | woken
+                blocked = config.blocked
+            candidate = (Configuration(new_state, blocked, frozenset(notified)), False)
+            if candidate not in results:
+                results.append(candidate)
+        return results
+
+    def step(self, config: Configuration, event: Event) -> Optional[Tuple[Configuration, bool]]:
+        """Deterministic convenience wrapper: the first successor, if any."""
+        successors = self.successors(config, event)
+        return successors[0] if successors else None
+
+    # -- whole traces ---------------------------------------------------------
+
+    def run_trace(self, state: MonitorState, trace: Sequence[Event]) -> TraceOutcome:
+        """Replay *trace*; feasible iff some resolution of signal targets consumes it."""
+        frontier: List[Tuple[Configuration, bool]] = [(self.initial_configuration(state), False)]
+        for event in trace:
+            next_frontier: List[Tuple[Configuration, bool]] = []
+            for config, used_1b in frontier:
+                for successor, spurious in self.successors(config, event):
+                    entry = (successor, used_1b or spurious)
+                    if entry not in next_frontier:
+                        next_frontier.append(entry)
+            if not next_frontier:
+                return TraceOutcome(False)
+            frontier = next_frontier
+        config, used_1b = frontier[0]
+        return TraceOutcome(True, config, used_1b)

@@ -1,0 +1,86 @@
+"""Integer feasibility via branch-and-bound on top of the rational simplex.
+
+Conjunctions of linear integer constraints are decided by solving the
+rational relaxation and branching on a variable with a fractional value
+(``x <= floor(v)`` vs ``x >= ceil(v)``).  The verification conditions the
+Expresso pipeline generates are tiny (a handful of variables, unit
+coefficients), so branching depth is small in practice; a depth limit plus
+artificial variable bounds act as a completeness backstop, and exceeding the
+limit raises :class:`IntegerFeasibilityUnknown` so callers can degrade
+conservatively (an unproven Hoare triple only ever costs a signal, never
+correctness).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.smt.linear import Constraint, LinExpr
+from repro.smt.simplex import rational_feasible
+
+#: Depth after which artificial bounds are imposed on every variable.
+_BOUND_DEPTH = 24
+#: Hard recursion limit.
+_MAX_DEPTH = 80
+#: Magnitude of the artificial bounds.
+_BIG_BOUND = 10**7
+
+
+class IntegerFeasibilityUnknown(Exception):
+    """Raised when branch-and-bound exceeds its budget without an answer."""
+
+
+def integer_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, int]]:
+    """Return an integer model for the conjunction of *constraints*, or None.
+
+    Raises :class:`IntegerFeasibilityUnknown` if the search budget is
+    exhausted (practically unreachable for pipeline-generated VCs).
+    """
+    return _search(list(constraints), depth=0)
+
+
+def _search(constraints: List[Constraint], depth: int) -> Optional[Dict[str, int]]:
+    if depth > _MAX_DEPTH:
+        raise IntegerFeasibilityUnknown(
+            f"branch-and-bound exceeded depth {_MAX_DEPTH} on {len(constraints)} constraints"
+        )
+    relaxation = rational_feasible(constraints)
+    if relaxation is None:
+        return None
+    fractional = _first_fractional(relaxation)
+    if fractional is None:
+        model = {name: int(value) for name, value in relaxation.items()}
+        return model
+    name, value = fractional
+    if depth == _BOUND_DEPTH:
+        # Bound every variable to force termination on pathological systems.
+        bounded = list(constraints)
+        for var_name in relaxation:
+            bounded.append(Constraint(LinExpr.var(var_name).shift(-_BIG_BOUND)))
+            bounded.append(Constraint(LinExpr.var(var_name, -1).shift(-_BIG_BOUND)))
+        constraints = bounded
+    floor_val = math.floor(value)
+    ceil_val = floor_val + 1
+    # Branch x <= floor(v):  x - floor <= 0
+    lower_branch = constraints + [Constraint(LinExpr.var(name).shift(-floor_val))]
+    result = _search(lower_branch, depth + 1)
+    if result is not None:
+        return result
+    # Branch x >= ceil(v):  ceil - x <= 0
+    upper_branch = constraints + [Constraint(LinExpr.var(name, -1).shift(ceil_val))]
+    return _search(upper_branch, depth + 1)
+
+
+def _first_fractional(model: Dict[str, Fraction]) -> Optional[tuple]:
+    for name in sorted(model):
+        value = model[name]
+        if value.denominator != 1:
+            return name, value
+    return None
+
+
+def evaluate_constraints(constraints: Sequence[Constraint], model: Dict[str, int]) -> bool:
+    """Check that *model* satisfies every constraint (used in tests)."""
+    return all(constraint.evaluate(model) for constraint in constraints)

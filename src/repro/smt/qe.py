@@ -1,0 +1,121 @@
+"""Quantifier elimination for the abduction engine.
+
+Existential quantifiers over booleans are eliminated by Shannon expansion;
+existential quantifiers over integers by Fourier–Motzkin elimination on the
+DNF of the body.  Universal quantification is handled by duality
+(``∀x.φ = ¬∃x.¬φ``).
+
+Fourier–Motzkin over the integers is exact whenever the eliminated variable
+appears with coefficient ±1 in every constraint (the only case the monitor
+analyses produce, since guards and updates use unit coefficients).  When a
+larger coefficient appears, the real shadow is returned, which
+over-approximates satisfiability; abduction candidates derived from it are
+still filtered by Algorithm 2's validity checks, so soundness of the overall
+pipeline is preserved.  Callers that need exactness can pass ``strict=True``
+to raise instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.logic import build
+from repro.logic.free_vars import free_vars
+from repro.logic.nnf import to_dnf_clauses
+from repro.logic.simplify import simplify
+from repro.logic.substitute import substitute
+from repro.logic.terms import BOOL, BoolConst, Expr, INT, Not, Var
+from repro.smt.linear import Constraint, LinExpr
+from repro.smt.preprocess import atom_constraint, preprocess
+
+
+class QuantifierEliminationError(ValueError):
+    """Raised in strict mode when elimination would be inexact, or on bad input."""
+
+
+def eliminate_exists(variables: Sequence[Var], formula: Expr, *, strict: bool = False) -> Expr:
+    """Compute a quantifier-free equivalent of ``exists variables. formula``."""
+    result = formula
+    for var in variables:
+        if var.var_sort is BOOL:
+            result = _eliminate_bool_exists(var, result)
+        else:
+            result = _eliminate_int_exists(var, result, strict=strict)
+    return simplify(result)
+
+
+def eliminate_forall(variables: Sequence[Var], formula: Expr, *, strict: bool = False) -> Expr:
+    """Compute a quantifier-free equivalent of ``forall variables. formula``."""
+    negated = build.lnot(formula)
+    eliminated = eliminate_exists(variables, negated, strict=strict)
+    return simplify(build.lnot(eliminated))
+
+
+def _eliminate_bool_exists(var: Var, formula: Expr) -> Expr:
+    true_case = substitute(formula, {var: build.TRUE})
+    false_case = substitute(formula, {var: build.FALSE})
+    return build.lor(simplify(true_case), simplify(false_case))
+
+
+def _eliminate_int_exists(var: Var, formula: Expr, *, strict: bool) -> Expr:
+    if var not in free_vars(formula):
+        return formula
+    processed = preprocess(formula)
+    if isinstance(processed, BoolConst):
+        return processed
+    cubes = to_dnf_clauses(processed)
+    eliminated_cubes: List[Expr] = []
+    for cube in cubes:
+        eliminated_cubes.append(_eliminate_from_cube(var, cube, strict=strict))
+    return build.lor(*eliminated_cubes)
+
+
+def _eliminate_from_cube(var: Var, cube: Tuple[Expr, ...], *, strict: bool) -> Expr:
+    """Fourier–Motzkin elimination of *var* from a conjunction of literals."""
+    constraints: List[Constraint] = []
+    other_literals: List[Expr] = []
+    for literal in cube:
+        if isinstance(literal, Not):
+            # After preprocessing only boolean variables appear negated.
+            other_literals.append(literal)
+            continue
+        constraint = atom_constraint(literal)
+        if constraint is None:
+            other_literals.append(literal)
+            continue
+        constraints.append(constraint)
+
+    lowers: List[Tuple[int, LinExpr]] = []   # a*var >= rest  encoded as (a, rest)
+    uppers: List[Tuple[int, LinExpr]] = []   # a*var <= rest
+    unrelated: List[Constraint] = []
+    for constraint in constraints:
+        coef = constraint.expr.coefficient(var.name)
+        if coef == 0:
+            unrelated.append(constraint)
+            continue
+        rest = LinExpr.of(
+            {n: c for n, c in constraint.expr.coeffs if n != var.name},
+            constraint.expr.constant,
+        )
+        # constraint: coef*var + rest <= 0
+        if coef > 0:
+            # var <= -rest / coef
+            uppers.append((coef, rest.scale(-1)))
+        else:
+            # var >= rest / (-coef)
+            lowers.append((-coef, rest))
+        if strict and abs(coef) != 1:
+            raise QuantifierEliminationError(
+                f"non-unit coefficient {coef} for {var.name}; elimination would be inexact"
+            )
+
+    combined: List[Expr] = [c.to_formula() for c in unrelated]
+    combined.extend(other_literals)
+    for low_coef, low_rest in lowers:
+        for up_coef, up_rest in uppers:
+            # low_rest / low_coef <= var <= up_rest / up_coef
+            # ==> up_coef * low_rest <= low_coef * up_rest
+            lhs = low_rest.scale(up_coef)
+            rhs = up_rest.scale(low_coef)
+            combined.append(Constraint(lhs.sub(rhs)).to_formula())
+    return build.land(*combined) if combined else build.TRUE

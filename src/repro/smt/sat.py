@@ -1,0 +1,121 @@
+"""A small DPLL SAT solver with unit propagation.
+
+The boolean skeletons produced by the pipeline are tiny (tens of variables),
+so a clean recursive DPLL with unit propagation and a most-occurrences
+branching heuristic is more than adequate and easy to audit.  The solver is
+incremental in the simplest sense: clauses can be added between ``solve``
+calls (used by the DPLL(T) loop to add theory-conflict blocking clauses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Clause = Tuple[int, ...]
+Assignment = Dict[int, bool]
+
+
+class SatSolver:
+    """DPLL solver over integer literals (positive index = true polarity)."""
+
+    def __init__(self, num_vars: int = 0):
+        self._clauses: List[Clause] = []
+        self._num_vars = num_vars
+
+    def add_clause(self, clause: Sequence[int]) -> None:
+        """Add a clause; the empty clause makes the instance trivially unsat."""
+        normalized = tuple(dict.fromkeys(clause))
+        for literal in normalized:
+            self._num_vars = max(self._num_vars, abs(literal))
+        self._clauses.append(normalized)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        """Return a satisfying assignment (complete over all variables) or None."""
+        assignment: Assignment = {}
+        for literal in assumptions:
+            var = abs(literal)
+            value = literal > 0
+            if var in assignment and assignment[var] != value:
+                return None
+            assignment[var] = value
+        result = self._dpll(assignment)
+        if result is None:
+            return None
+        # Complete the assignment for variables untouched by the search.
+        for var in range(1, self._num_vars + 1):
+            result.setdefault(var, False)
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _dpll(self, assignment: Assignment) -> Optional[Assignment]:
+        assignment = dict(assignment)
+        status = self._propagate(assignment)
+        if status is False:
+            return None
+        branch_var = self._pick_branch_variable(assignment)
+        if branch_var is None:
+            return assignment
+        for value in (True, False):
+            assignment[branch_var] = value
+            result = self._dpll(assignment)
+            if result is not None:
+                return result
+            del assignment[branch_var]
+        return None
+
+    def _propagate(self, assignment: Assignment) -> bool:
+        """Unit propagation; returns False on conflict, True otherwise."""
+        changed = True
+        while changed:
+            changed = False
+            for clause in self._clauses:
+                unassigned = None
+                satisfied = False
+                unassigned_count = 0
+                for literal in clause:
+                    var = abs(literal)
+                    if var in assignment:
+                        if assignment[var] == (literal > 0):
+                            satisfied = True
+                            break
+                    else:
+                        unassigned = literal
+                        unassigned_count += 1
+                if satisfied:
+                    continue
+                if unassigned_count == 0:
+                    return False
+                if unassigned_count == 1:
+                    assignment[abs(unassigned)] = unassigned > 0
+                    changed = True
+        return True
+
+    def _pick_branch_variable(self, assignment: Assignment) -> Optional[int]:
+        """Pick the unassigned variable occurring in the most unsatisfied clauses."""
+        counts: Dict[int, int] = {}
+        for clause in self._clauses:
+            clause_satisfied = any(
+                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0) for lit in clause
+            )
+            if clause_satisfied:
+                continue
+            for literal in clause:
+                var = abs(literal)
+                if var not in assignment:
+                    counts[var] = counts.get(var, 0) + 1
+        if counts:
+            return max(counts, key=lambda var: (counts[var], -var))
+        # Any remaining unassigned variable (appearing only in satisfied clauses).
+        for var in range(1, self._num_vars + 1):
+            if var not in assignment:
+                return var
+        return None

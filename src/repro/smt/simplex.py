@@ -1,0 +1,183 @@
+"""Exact-rational feasibility of linear constraint systems (Phase-1 simplex).
+
+This is the arithmetic core of the SMT solver.  Given a conjunction of
+constraints ``t_j <= 0`` over free (unbounded-sign) variables, it either
+produces a rational satisfying assignment or reports infeasibility.  All
+arithmetic uses :class:`fractions.Fraction`, so the result is exact; Bland's
+rule guarantees termination.
+
+The construction is the textbook one:
+
+* each free variable ``x`` is split into ``x = x⁺ - x⁻`` with ``x⁺, x⁻ >= 0``;
+* each constraint ``a·x + k <= 0`` becomes ``a·x + s = -k`` with a slack
+  ``s >= 0`` (rows are scaled so the right-hand side is non-negative);
+* an artificial variable is added per row and the Phase-1 objective
+  (sum of artificials) is minimized; feasibility holds iff the optimum is 0.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.smt.linear import Constraint
+
+
+def _interval_feasible(rows: Sequence[Constraint],
+                       variables: Sequence[str]) -> Optional[Dict[str, Fraction]]:
+    """Decide a system of single-variable constraints by interval intersection."""
+    lower: Dict[str, Fraction] = {}
+    upper: Dict[str, Fraction] = {}
+    for constraint in rows:
+        (name, coefficient), = constraint.expr.coeffs
+        bound = Fraction(-constraint.expr.constant, coefficient)
+        if coefficient > 0:
+            # coefficient * x + k <= 0  ==>  x <= -k / coefficient
+            if name not in upper or bound < upper[name]:
+                upper[name] = bound
+        else:
+            # coefficient < 0  ==>  x >= -k / coefficient
+            if name not in lower or bound > lower[name]:
+                lower[name] = bound
+    model: Dict[str, Fraction] = {}
+    for name in variables:
+        low = lower.get(name)
+        high = upper.get(name)
+        if low is not None and high is not None and low > high:
+            return None
+        if low is not None:
+            model[name] = low
+        elif high is not None:
+            model[name] = high
+        else:
+            model[name] = Fraction(0)
+    return model
+
+
+def rational_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, Fraction]]:
+    """Return a rational model for the conjunction of *constraints*, or None.
+
+    Constraints whose linear part is empty are checked directly; an empty or
+    trivially-true system yields the empty assignment (callers fill defaults).
+    Systems in which every constraint mentions a single variable are decided
+    by interval intersection (the common case for monitor VCs, and orders of
+    magnitude cheaper than the tableau); everything else goes to the simplex.
+    """
+    variables: List[str] = []
+    seen = set()
+    rows: List[Constraint] = []
+    single_variable_only = True
+    for constraint in constraints:
+        if constraint.expr.is_constant():
+            if constraint.expr.constant > 0:
+                return None
+            continue
+        rows.append(constraint)
+        names = constraint.variables()
+        if len(names) > 1:
+            single_variable_only = False
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                variables.append(name)
+    if not rows:
+        return {}
+    if single_variable_only:
+        return _interval_feasible(rows, variables)
+
+    num_vars = len(variables)
+    num_rows = len(rows)
+    var_index = {name: idx for idx, name in enumerate(variables)}
+
+    # Column layout: [x⁺ (n), x⁻ (n), slack (m), artificial (m)].
+    total_cols = 2 * num_vars + 2 * num_rows
+    tableau: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    basis: List[int] = []
+
+    for row_idx, constraint in enumerate(rows):
+        # a·x + k <= 0  ==>  a·x + s = -k
+        coeffs = [Fraction(0)] * total_cols
+        for name, coef in constraint.expr.coeffs:
+            col = var_index[name]
+            coeffs[col] += Fraction(coef)
+            coeffs[num_vars + col] -= Fraction(coef)
+        coeffs[2 * num_vars + row_idx] = Fraction(1)  # slack
+        b = Fraction(-constraint.expr.constant)
+        if b < 0:
+            coeffs = [-c for c in coeffs]
+            b = -b
+        art_col = 2 * num_vars + num_rows + row_idx
+        coeffs[art_col] = Fraction(1)
+        tableau.append(coeffs)
+        rhs.append(b)
+        basis.append(art_col)
+
+    # Phase-1 objective: minimize the sum of artificial variables.
+    objective = [Fraction(0)] * total_cols
+    obj_value = Fraction(0)
+    for row_idx in range(num_rows):
+        art_col = 2 * num_vars + num_rows + row_idx
+        objective[art_col] = Fraction(1)
+    # Make the objective row consistent with the starting basis (price out).
+    for row_idx in range(num_rows):
+        for col in range(total_cols):
+            objective[col] -= tableau[row_idx][col]
+        obj_value -= rhs[row_idx]
+
+    def pivot(pivot_row: int, pivot_col: int) -> None:
+        nonlocal obj_value
+        pivot_val = tableau[pivot_row][pivot_col]
+        tableau[pivot_row] = [c / pivot_val for c in tableau[pivot_row]]
+        rhs[pivot_row] /= pivot_val
+        for row_idx in range(num_rows):
+            if row_idx == pivot_row:
+                continue
+            factor = tableau[row_idx][pivot_col]
+            if factor == 0:
+                continue
+            tableau[row_idx] = [
+                tableau[row_idx][col] - factor * tableau[pivot_row][col]
+                for col in range(total_cols)
+            ]
+            rhs[row_idx] -= factor * rhs[pivot_row]
+        factor = objective[pivot_col]
+        if factor != 0:
+            for col in range(total_cols):
+                objective[col] -= factor * tableau[pivot_row][col]
+            obj_value -= factor * rhs[pivot_row]
+        basis[pivot_row] = pivot_col
+
+    # Primal simplex with Bland's rule (anti-cycling).
+    while True:
+        entering = next((col for col in range(total_cols) if objective[col] < 0), None)
+        if entering is None:
+            break
+        best_row = None
+        best_ratio = None
+        for row_idx in range(num_rows):
+            coef = tableau[row_idx][entering]
+            if coef > 0:
+                ratio = rhs[row_idx] / coef
+                if best_ratio is None or ratio < best_ratio or (
+                    ratio == best_ratio and basis[row_idx] < basis[best_row]
+                ):
+                    best_ratio = ratio
+                    best_row = row_idx
+        if best_row is None:
+            # Phase-1 objective is bounded below by 0, so this cannot happen;
+            # guard anyway to avoid an infinite loop on numerical misuse.
+            return None
+        pivot(best_row, entering)
+
+    # Optimum of the Phase-1 objective is -obj_value (we maintained the negated row).
+    if -obj_value > 0:
+        return None
+
+    values = [Fraction(0)] * total_cols
+    for row_idx, col in enumerate(basis):
+        values[col] = rhs[row_idx]
+    model: Dict[str, Fraction] = {}
+    for name, idx in var_index.items():
+        model[name] = values[idx] - values[num_vars + idx]
+    return model

@@ -1,0 +1,218 @@
+"""The lazy DPLL(T) solver tying together SAT search and integer arithmetic.
+
+:class:`Solver` answers satisfiability and validity queries for
+quantifier-free formulas over linear integer arithmetic and booleans.  The
+design is the standard offline lazy-SMT loop:
+
+1. preprocess the formula into NNF with canonical ``t <= 0`` atoms;
+2. Tseitin-encode the boolean skeleton and enumerate propositionally
+   satisfying assignments with the DPLL core;
+3. for each assignment, check the implied conjunction of integer constraints
+   with branch-and-bound over the rational simplex;
+4. on a theory conflict, add a blocking clause built from a greedily
+   minimized unsatisfiable core and continue.
+
+Unknown results (budget exhaustion) are reported explicitly so that callers
+can degrade conservatively; they never occur on the pipeline's own VCs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.logic import build
+from repro.logic.free_vars import free_vars
+from repro.logic.terms import BOOL, BoolConst, Exists, Expr, Forall, INT, Var
+from repro.smt.cnf import AtomTable, encode
+from repro.smt.intfeas import IntegerFeasibilityUnknown, integer_feasible
+from repro.smt.linear import Constraint
+from repro.smt.preprocess import atom_constraint, preprocess
+from repro.smt.sat import SatSolver
+from repro.smt.simplex import rational_feasible
+
+Value = Union[int, bool]
+Model = Dict[str, Value]
+
+
+class SatStatus(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SatResult:
+    """Outcome of a satisfiability query."""
+
+    status: SatStatus
+    model: Optional[Model] = None
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SatStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SatStatus.UNSAT
+
+
+class SolverError(RuntimeError):
+    """Raised on malformed queries (e.g. quantified input to check_sat)."""
+
+
+class Solver:
+    """Decision procedure for QF-LIA + booleans.
+
+    Instances are stateless between queries; the class exists to carry
+    configuration (iteration budget) and statistics that the evaluation
+    harness reports (number of SAT/theory calls).
+    """
+
+    def __init__(self, max_theory_iterations: int = 2000):
+        self.max_theory_iterations = max_theory_iterations
+        self.statistics: Dict[str, int] = {
+            "sat_queries": 0,
+            "theory_checks": 0,
+            "validity_queries": 0,
+        }
+
+    # -- public API ---------------------------------------------------------
+
+    def check_sat(self, formula: Expr) -> SatResult:
+        """Decide satisfiability of a quantifier-free formula."""
+        self.statistics["sat_queries"] += 1
+        if _contains_quantifier(formula):
+            raise SolverError("check_sat expects a quantifier-free formula; "
+                              "use repro.smt.qe to eliminate quantifiers first")
+        processed = preprocess(formula)
+        if isinstance(processed, BoolConst):
+            if processed.value:
+                return SatResult(SatStatus.SAT, _default_model(formula))
+            return SatResult(SatStatus.UNSAT)
+
+        table = AtomTable()
+        sat_solver = SatSolver()
+        sat_solver.add_clauses(encode(processed, table))
+        atom_vars = table.atoms()
+
+        for _ in range(self.max_theory_iterations):
+            assignment = sat_solver.solve()
+            if assignment is None:
+                return SatResult(SatStatus.UNSAT)
+            constraints: List[Tuple[int, Constraint]] = []
+            bool_values: Dict[str, bool] = {}
+            for atom, var_id in atom_vars.items():
+                value = assignment.get(var_id, False)
+                constraint = atom_constraint(atom)
+                if constraint is not None:
+                    constraints.append((var_id if value else -var_id,
+                                        constraint if value else constraint.negate()))
+                elif isinstance(atom, Var) and atom.var_sort is BOOL:
+                    bool_values[atom.name] = value
+            self.statistics["theory_checks"] += 1
+            try:
+                theory_model = integer_feasible([c for _, c in constraints])
+            except IntegerFeasibilityUnknown:
+                return SatResult(SatStatus.UNKNOWN)
+            if theory_model is not None:
+                model = _build_model(formula, theory_model, bool_values)
+                return SatResult(SatStatus.SAT, model)
+            core = self._minimize_core(constraints)
+            sat_solver.add_clause([-literal for literal, _ in core])
+        return SatResult(SatStatus.UNKNOWN)
+
+    def check_valid(self, formula: Expr) -> bool:
+        """Return True iff *formula* is valid (its negation is unsatisfiable).
+
+        UNKNOWN results are treated as "not proven" — the conservative answer
+        for every use in the signal-placement pipeline.
+        """
+        self.statistics["validity_queries"] += 1
+        result = self.check_sat(build.lnot(formula))
+        return result.status is SatStatus.UNSAT
+
+    def check_implies(self, antecedent: Expr, consequent: Expr) -> bool:
+        """Validity of ``antecedent ==> consequent``."""
+        return self.check_valid(build.implies(antecedent, consequent))
+
+    def check_equivalent(self, left: Expr, right: Expr) -> bool:
+        """Validity of ``left <==> right``."""
+        return self.check_valid(build.iff(left, right))
+
+    def get_model(self, formula: Expr) -> Optional[Model]:
+        """Return a model of *formula* or None when unsatisfiable/unknown."""
+        result = self.check_sat(formula)
+        return result.model if result.is_sat else None
+
+    # -- internals ----------------------------------------------------------
+
+    def _minimize_core(
+        self, constraints: List[Tuple[int, Constraint]]
+    ) -> List[Tuple[int, Constraint]]:
+        """Greedy deletion-based minimization of an infeasible constraint set.
+
+        Minimization works on the rational relaxation (cheap and sound for
+        blocking purposes: any rationally-infeasible subset is also
+        integer-infeasible).  If the conflict is integer-only, the full set is
+        used as the core.  Small cores are essential: they block whole families
+        of propositional assignments at once (e.g. ``x == 0`` with ``x == 1``),
+        and the interval fast path in the simplex keeps each deletion probe
+        cheap.
+        """
+        if rational_feasible([c for _, c in constraints]) is not None:
+            return constraints
+        core = list(constraints)
+        index = 0
+        while index < len(core):
+            candidate = core[:index] + core[index + 1:]
+            if rational_feasible([c for _, c in candidate]) is None:
+                core = candidate
+            else:
+                index += 1
+        return core
+
+
+def _contains_quantifier(formula: Expr) -> bool:
+    if isinstance(formula, (Forall, Exists)):
+        return True
+    return any(_contains_quantifier(child) for child in formula.children())
+
+
+def _default_model(formula: Expr) -> Model:
+    model: Model = {}
+    for var in free_vars(formula):
+        model[var.name] = 0 if var.var_sort is INT else False
+    return model
+
+
+def _build_model(formula: Expr, theory_model: Dict[str, int],
+                 bool_values: Dict[str, bool]) -> Model:
+    model: Model = {}
+    for var in free_vars(formula):
+        if var.var_sort is BOOL:
+            model[var.name] = bool_values.get(var.name, False)
+        else:
+            model[var.name] = int(theory_model.get(var.name, 0))
+    return model
+
+
+# -- module-level convenience wrappers --------------------------------------
+
+_DEFAULT_SOLVER = Solver()
+
+
+def check_sat(formula: Expr) -> SatResult:
+    """Module-level satisfiability check using a shared default solver."""
+    return _DEFAULT_SOLVER.check_sat(formula)
+
+
+def check_valid(formula: Expr) -> bool:
+    """Module-level validity check using a shared default solver."""
+    return _DEFAULT_SOLVER.check_valid(formula)
+
+
+def get_model(formula: Expr) -> Optional[Model]:
+    """Module-level model query using a shared default solver."""
+    return _DEFAULT_SOLVER.get_model(formula)

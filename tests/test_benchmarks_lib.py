@@ -1,0 +1,108 @@
+"""Tests for the benchmark library: sources parse, workloads balance,
+hand-written placements are lost-wake-up free on small runs, and the Expresso
+pipeline produces the qualitative placements the paper reports."""
+
+import pytest
+
+from repro.benchmarks_lib import (
+    ALL_BENCHMARKS,
+    FIGURE8_BENCHMARKS,
+    FIGURE9_BENCHMARKS,
+    get_benchmark,
+)
+from repro.harness.saturation import build_monitor_class, run_saturation
+from repro.placement.pipeline import ExpressoPipeline
+
+
+class TestRegistry:
+    def test_all_fourteen_benchmarks_present(self):
+        assert len(ALL_BENCHMARKS) == 14
+        assert len(FIGURE8_BENCHMARKS) == 8
+        assert len(FIGURE9_BENCHMARKS) == 6
+
+    def test_paper_benchmark_names(self):
+        expected = {
+            "BoundedBuffer", "H2O Barrier", "Sleeping Barber", "Round Robin",
+            "Ticketed Readers-Writers", "Parameterized Bounded Buffer",
+            "Dining Philosophers", "Readers-Writers",
+            "ConcurrencyThrottle", "PendingPostQueue", "AsyncDispatch",
+            "SimpleBlockingDeployment", "SimpleDecoder", "AsyncOperationExecutor",
+        }
+        assert set(ALL_BENCHMARKS) == expected
+
+    def test_lookup_is_fuzzy(self):
+        assert get_benchmark("readers-writers").name == "Readers-Writers"
+        assert get_benchmark("boundedbuffer").name == "BoundedBuffer"
+        with pytest.raises(KeyError):
+            get_benchmark("NoSuchBenchmark")
+
+
+@pytest.mark.parametrize("spec", ALL_BENCHMARKS.values(), ids=lambda s: s.name)
+class TestEveryBenchmark:
+    def test_source_parses_and_checks(self, spec):
+        monitor = spec.monitor()
+        assert monitor.methods
+        assert monitor.guards(), f"{spec.name} should have at least one waited-on guard"
+
+    def test_handwritten_placement_references_real_ccrs(self, spec):
+        explicit = spec.handwritten_explicit()
+        labels = {ccr.label for method in explicit.methods for ccr in method.ccrs}
+        for placement in spec.hand_placements:
+            assert placement.ccr_label in labels
+        assert explicit.total_notifications() == len(spec.hand_placements)
+
+    def test_workload_is_balanced_and_methods_exist(self, spec):
+        monitor = spec.monitor()
+        method_names = {method.name for method in monitor.methods}
+        workload = spec.workload(spec.thread_ladder[0])
+        assert len(workload) == spec.thread_ladder[0]
+        assert any(workload), "workload must contain at least one operation"
+        for ops in workload:
+            for method_name, args in ops:
+                assert method_name in method_names
+                assert len(args) == len(monitor.method(method_name).params)
+
+
+@pytest.mark.parametrize("spec", ALL_BENCHMARKS.values(), ids=lambda s: s.name)
+@pytest.mark.parametrize("discipline", ["explicit", "autosynch"])
+def test_small_saturation_run_terminates(spec, discipline):
+    """The hand-written placement and the AutoSynch runtime never lose wake-ups."""
+    measurement = run_saturation(spec, discipline, threads=3, ops_per_thread=4,
+                                 timeout_seconds=30.0)
+    assert measurement.operations > 0
+    assert measurement.elapsed_seconds < 30.0
+
+
+class TestQualitativePlacements:
+    """The placement facts §7 highlights, checked on the compiled benchmarks."""
+
+    def _compile(self, name):
+        spec = get_benchmark(name)
+        return ExpressoPipeline().compile(spec.monitor())
+
+    def test_bounded_buffer_avoids_broadcasts(self):
+        result = self._compile("BoundedBuffer")
+        assert result.placement.total_notifications() == 2
+        assert result.placement.broadcast_count() == 0
+
+    def test_concurrency_throttle_avoids_broadcasts(self):
+        """§7: the ConcurrencyThrottle waiting condition is re-enabled by a
+        distant decrement; commutativity reasoning avoids the broadcast."""
+        result = self._compile("ConcurrencyThrottle")
+        assert result.placement.broadcast_count() == 0
+        assert result.placement.total_notifications() == 1
+
+    def test_pending_post_queue_single_signal(self):
+        result = self._compile("PendingPostQueue")
+        assert result.placement.total_notifications() == 1
+        assert result.placement.broadcast_count() == 0
+
+    def test_round_robin_broadcasts_due_to_thread_locals(self):
+        """Guards over thread-local turn ids force conservative broadcasts (§4.2)."""
+        result = self._compile("Round Robin")
+        notes = [n for notes in result.placement.notifications.values() for n in notes]
+        assert any(note.broadcast for note in notes)
+
+    def test_sleeping_barber_no_broadcasts(self):
+        result = self._compile("Sleeping Barber")
+        assert result.placement.broadcast_count() == 0

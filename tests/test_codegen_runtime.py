@@ -1,0 +1,223 @@
+"""Tests for code generation (Java + Python) and the executable runtimes."""
+
+import threading
+
+import pytest
+
+from repro.codegen import (
+    generate_java,
+    generate_python_autosynch,
+    generate_python_explicit,
+    generate_python_implicit,
+    materialize_class,
+)
+from repro.codegen.pyexpr import to_java, to_python, python_identifier
+from repro.lang import load_monitor
+from repro.logic import BOOL, add, eq, ge, i, ite, land, lnot, v
+from repro.placement import compile_monitor
+from repro.runtime import AutoSynchRuntime, GuardWaiters, ImplicitRuntime, MonitorMetrics
+
+
+RW_SOURCE = """
+monitor RWLock {
+    int readers = 0;
+    boolean writerIn = false;
+    atomic void enterReader() { waituntil (!writerIn) { readers++; } }
+    atomic void exitReader() { if (readers > 0) { readers--; } }
+    atomic void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+    atomic void exitWriter() { writerIn = false; }
+}
+"""
+
+LOCAL_GUARD_SOURCE = """
+monitor Turnstile {
+    int turn = 0;
+    atomic void takeTurn(int id) { waituntil (turn == id) { turn++; } }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def rw_result():
+    return compile_monitor(RW_SOURCE)
+
+
+class TestExpressionTranslation:
+    def test_python_field_access(self):
+        expr = land(ge(v("count"), i(0)), lnot(v("stopped", BOOL)))
+        text = to_python(expr, frozenset({"count", "stopped"}))
+        assert text == "((self.count >= 0) and (not self.stopped))"
+
+    def test_python_locals_stay_bare(self):
+        text = to_python(eq(v("turn"), v("id")), frozenset({"turn"}))
+        assert text == "(self.turn == id)"
+
+    def test_python_ite(self):
+        text = to_python(ite(ge(v("x"), i(0)), v("x"), i(0)), frozenset())
+        assert text == "(x if (x >= 0) else 0)"
+
+    def test_java_rendering(self):
+        text = to_java(land(eq(v("readers"), i(0)), lnot(v("writerIn", BOOL))), frozenset())
+        assert text == "((readers == 0) && (!writerIn))"
+
+    def test_dotted_names_are_mangled_in_python(self):
+        assert python_identifier("queue.size") == "queue_size"
+        text = to_python(ge(v("queue.size"), i(1)), frozenset({"queue.size"}))
+        assert "self.queue_size" in text
+
+
+class TestJavaGeneration:
+    def test_follows_section6_scheme(self, rw_result):
+        java = generate_java(rw_result.explicit)
+        assert "ReentrantLock" in java
+        assert "while (!((!writerIn))) enterReaderCond.await();" in java.replace("  ", " ") or \
+            "enterReaderCond.await()" in java
+        assert "signalAll" in java          # readers broadcast in exitWriter
+        assert "if (((readers == 0)" in java  # conditional writer signal
+
+    def test_lazy_broadcast_mode_relays(self, rw_result):
+        java = generate_java(rw_result.explicit, lazy_broadcast=True)
+        assert "lazy broadcast relay" in java
+        assert "signalAll" not in java
+
+
+class TestPythonGeneration:
+    def test_explicit_class_runs_single_threaded(self, rw_result):
+        cls = materialize_class(generate_python_explicit(rw_result.explicit), "RWLockExplicit")
+        monitor = cls()
+        monitor.enterReader(); monitor.exitReader()
+        monitor.enterWriter(); monitor.exitWriter()
+        assert monitor.readers == 0 and monitor.writerIn is False
+        assert monitor.metrics.operations == 4
+
+    def test_explicit_signalling_wakes_waiters(self, rw_result):
+        cls = materialize_class(generate_python_explicit(rw_result.explicit), "RWLockExplicit")
+        monitor = cls()
+        monitor.enterWriter()
+        admitted = []
+
+        def reader():
+            monitor.enterReader()
+            admitted.append(True)
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        thread.join(0.2)
+        assert thread.is_alive()            # blocked while the writer is in
+        monitor.exitWriter()                # unconditional broadcast to readers
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert admitted == [True]
+
+    def test_implicit_and_autosynch_classes_run(self, rw_result):
+        monitor_ast = rw_result.monitor
+        for generator, name in ((generate_python_implicit, "Implicit"),
+                                (generate_python_autosynch, "AutoSynch")):
+            cls = materialize_class(generator(monitor_ast, class_name=name), name)
+            instance = cls()
+            instance.enterReader(); instance.exitReader()
+            assert instance.readers == 0
+
+    def test_local_guard_uses_waiter_table(self):
+        result = compile_monitor(LOCAL_GUARD_SOURCE)
+        source = generate_python_explicit(result.explicit)
+        assert "GuardWaiters" in source
+        cls = materialize_class(source, "TurnstileExplicit")
+        monitor = cls()
+        order = []
+
+        def taker(my_id):
+            monitor.takeTurn(my_id)
+            order.append(my_id)
+
+        threads = [threading.Thread(target=taker, args=(tid,), daemon=True)
+                   for tid in (1, 2, 0)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert sorted(order) == [0, 1, 2]
+        assert monitor.turn == 3
+
+    def test_cross_ccr_local_in_runtime_codegen(self):
+        source_text = """
+        monitor Ticketed {
+            int nextTicket = 0;
+            int serving = 0;
+            atomic void acquire() {
+                int ticket = nextTicket;
+                nextTicket++;
+                waituntil (serving == ticket) { serving++; }
+            }
+        }
+        """
+        monitor = load_monitor(source_text)
+        cls = materialize_class(generate_python_implicit(monitor, "T"), "T")
+        instance = cls()
+        instance.acquire()
+        instance.acquire()
+        assert instance.serving == 2
+
+
+class TestRuntimes:
+    def test_implicit_runtime_counts_spurious_wakeups(self):
+        runtime = ImplicitRuntime()
+        state = {"items": 0}
+        woken_with_empty = []
+
+        def consumer():
+            runtime.execute(lambda: state["items"] > 0,
+                            lambda: state.update(items=state["items"] - 1))
+
+        def producer():
+            runtime.execute(lambda: True, lambda: state.update(items=state["items"] + 1))
+
+        consumer_thread = threading.Thread(target=consumer, daemon=True)
+        consumer_thread.start()
+        threading.Event().wait(0.05)
+        producer_thread = threading.Thread(target=producer, daemon=True)
+        producer_thread.start()
+        consumer_thread.join(5.0)
+        producer_thread.join(5.0)
+        assert state["items"] == 0
+        assert runtime.metrics.broadcasts >= 2
+
+    def test_autosynch_runtime_avoids_waking_unsatisfied_waiters(self):
+        runtime = AutoSynchRuntime()
+        state = {"x": 0}
+
+        def waiter_for_five():
+            runtime.execute(lambda: state["x"] >= 5, lambda: None)
+
+        thread = threading.Thread(target=waiter_for_five, daemon=True)
+        thread.start()
+        threading.Event().wait(0.05)
+        # Increment x but never reach 5: the waiter must not be woken at all.
+        for _ in range(3):
+            runtime.execute(lambda: True, lambda: state.update(x=state["x"] + 1))
+        assert runtime.metrics.wakeups == 0
+        assert thread.is_alive()
+        runtime.execute(lambda: True, lambda: state.update(x=5))
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert runtime.metrics.spurious_wakeups == 0
+
+    def test_guard_waiters_registry(self):
+        metrics = MonitorMetrics()
+        waiters = GuardWaiters()
+        snapshot = waiters.register({"id": 3})
+        assert len(waiters) == 1
+        assert waiters.any_satisfied(lambda w: w["id"] == 3, metrics)
+        assert not waiters.any_satisfied(lambda w: w["id"] == 7, metrics)
+        waiters.deregister(snapshot)
+        assert len(waiters) == 0
+        assert metrics.predicate_evaluations == 2
+
+    def test_metrics_snapshot_and_reset(self):
+        metrics = MonitorMetrics()
+        metrics.operations = 5
+        metrics.signals = 2
+        snapshot = metrics.snapshot()
+        assert snapshot["operations"] == 5 and snapshot["signals"] == 2
+        metrics.reset()
+        assert metrics.operations == 0

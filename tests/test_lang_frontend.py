@@ -1,0 +1,273 @@
+"""Tests for the monitor DSL frontend: lexer, parser, scalarization, checker."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    If,
+    MonitorCheckError,
+    MonitorParseError,
+    Seq,
+    Skip,
+    While,
+    check_monitor,
+    load_monitor,
+    parse_monitor,
+    pretty_monitor,
+    scalarize_monitor,
+    tokenize,
+)
+from repro.lang.lexer import LexError
+from repro.logic import BOOL, INT, land, lnot, eq, ge, i, v, pretty
+
+
+RW_LOCK_SOURCE = """
+monitor RWLock {
+    unsigned int readers = 0;
+    boolean writerIn = false;
+
+    atomic void enterReader() {
+        waituntil (!writerIn) { readers++; }
+    }
+    atomic void exitReader() {
+        if (readers > 0) { readers--; }
+    }
+    atomic void enterWriter() {
+        waituntil (readers == 0 && !writerIn) { writerIn = true; }
+    }
+    atomic void exitWriter() {
+        writerIn = false;
+    }
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_keywords_and_idents(self):
+        tokens = tokenize("monitor M { int x = 0; }")
+        texts = [t.text for t in tokens]
+        assert texts == ["monitor", "M", "{", "int", "x", "=", "0", ";", "}", ""]
+
+    def test_dotted_identifier_is_single_token(self):
+        tokens = tokenize("queue.size >= 1")
+        assert tokens[0].text == "queue.size"
+        assert tokens[0].kind == "ident"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("x // line comment\n/* block */ y")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_lex_error_on_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+
+class TestParser:
+    def test_parses_readers_writers(self):
+        monitor = parse_monitor(RW_LOCK_SOURCE)
+        assert monitor.name == "RWLock"
+        assert monitor.field_names() == ("readers", "writerIn")
+        assert [m.name for m in monitor.methods] == [
+            "enterReader", "exitReader", "enterWriter", "exitWriter"
+        ]
+
+    def test_guards_parse_to_logic(self):
+        monitor = parse_monitor(RW_LOCK_SOURCE)
+        enter_writer = monitor.method("enterWriter")
+        guard = enter_writer.ccrs[0].guard
+        assert guard == land(eq(v("readers"), i(0)), lnot(v("writerIn", BOOL)))
+
+    def test_plain_statements_become_trivial_ccrs(self):
+        monitor = parse_monitor(RW_LOCK_SOURCE)
+        exit_reader = monitor.method("exitReader")
+        assert len(exit_reader.ccrs) == 1
+        assert exit_reader.ccrs[0].is_trivial()
+        assert isinstance(exit_reader.ccrs[0].body, If)
+
+    def test_increment_sugar(self):
+        monitor = parse_monitor(RW_LOCK_SOURCE)
+        body = monitor.method("enterReader").ccrs[0].body
+        assert isinstance(body, Assign)
+        assert body.target == "readers"
+
+    def test_constants_are_inlined(self):
+        source = """
+        monitor M {
+            const int CAP = 10;
+            int count = 0;
+            atomic void put() { waituntil (count < CAP) { count++; } }
+        }
+        """
+        monitor = parse_monitor(source)
+        guard = monitor.method("put").ccrs[0].guard
+        assert "10" in pretty(guard)
+
+    def test_parameters_are_in_scope(self):
+        source = """
+        monitor M {
+            int turn = 0;
+            atomic void take(int id) { waituntil (turn == id) { turn = turn + 1; } }
+        }
+        """
+        monitor = parse_monitor(source)
+        assert monitor.method("take").params[0].name == "id"
+
+    def test_method_with_multiple_ccrs(self):
+        source = """
+        monitor M {
+            int x = 0; int y = 0;
+            atomic void m() {
+                waituntil (x > 0) { x--; }
+                waituntil (y > 0) { y--; }
+            }
+        }
+        """
+        monitor = parse_monitor(source)
+        assert len(monitor.method("m").ccrs) == 2
+        assert monitor.method("m").ccrs[1].label == "m#1"
+
+    def test_unknown_variable_is_rejected(self):
+        with pytest.raises(MonitorParseError):
+            parse_monitor("monitor M { atomic void m() { x = 1; } }")
+
+    def test_nested_waituntil_is_rejected(self):
+        source = """
+        monitor M {
+            int x = 0;
+            atomic void m() { if (x > 0) { waituntil (x == 0) { skip; } } }
+        }
+        """
+        with pytest.raises(MonitorParseError):
+            parse_monitor(source)
+
+    def test_missing_semicolon_is_reported_with_position(self):
+        with pytest.raises(MonitorParseError) as excinfo:
+            parse_monitor("monitor M { int x = 0\n atomic void m() { x = 1; } }")
+        assert "line" in str(excinfo.value)
+
+    def test_while_with_invariant(self):
+        source = """
+        monitor M {
+            int x = 0;
+            atomic void m() {
+                while (x < 10) invariant (x >= 0) { x++; }
+            }
+        }
+        """
+        monitor = parse_monitor(source)
+        body = monitor.method("m").ccrs[0].body
+        assert isinstance(body, While)
+        assert body.invariant == ge(v("x"), i(0))
+
+
+class TestMonitorHelpers:
+    def test_guards_are_deduplicated(self):
+        source = """
+        monitor M {
+            int x = 0;
+            atomic void a() { waituntil (x > 0) { x--; } }
+            atomic void b() { waituntil (x > 0) { x--; } }
+            atomic void c() { x++; }
+        }
+        """
+        monitor = parse_monitor(source)
+        assert len(monitor.guards()) == 1
+
+    def test_constructor_initializes_fields(self):
+        monitor = parse_monitor(RW_LOCK_SOURCE)
+        ctor = monitor.constructor()
+        assert isinstance(ctor, Seq)
+        assert len(ctor.stmts) == 2
+
+    def test_thread_local_names(self):
+        source = """
+        monitor M {
+            int x = 0;
+            atomic void m(int id) { int t = id + 1; x = t; }
+        }
+        """
+        monitor = parse_monitor(source)
+        names = monitor.thread_local_names(monitor.method("m"))
+        assert names == {"id", "t"}
+
+
+class TestScalarization:
+    DINING_SOURCE = """
+    monitor Forks {
+        const int N = 3;
+        boolean forks[N];
+        atomic void pickUp(int id) {
+            waituntil (!forks[id]) { forks[id] = true; }
+        }
+        atomic void putDown(int id) {
+            forks[id] = false;
+        }
+    }
+    """
+
+    def test_array_fields_become_cells(self):
+        monitor = scalarize_monitor(parse_monitor(self.DINING_SOURCE))
+        assert monitor.field_names() == ("forks__0", "forks__1", "forks__2")
+
+    def test_scalarized_monitor_checks(self):
+        monitor = load_monitor(self.DINING_SOURCE)
+        check_monitor(monitor)  # no exception
+
+    def test_constant_index_resolves_directly(self):
+        source = """
+        monitor M {
+            int a[2];
+            atomic void m() { a[1] = 5; }
+        }
+        """
+        monitor = scalarize_monitor(parse_monitor(source))
+        body = monitor.method("m").ccrs[0].body
+        assert isinstance(body, Assign)
+        assert body.target == "a__1"
+
+    def test_unscalarized_monitor_fails_check(self):
+        with pytest.raises(MonitorCheckError):
+            check_monitor(parse_monitor(self.DINING_SOURCE))
+
+
+class TestChecker:
+    def test_valid_monitor_passes(self):
+        check_monitor(parse_monitor(RW_LOCK_SOURCE))
+
+    def test_sort_mismatch_in_assignment(self):
+        import repro.lang.ast as ast
+        from repro.logic import TRUE, i
+
+        monitor = ast.Monitor(
+            name="Bad",
+            fields=(ast.FieldDecl("flag", BOOL, TRUE),),
+            methods=(ast.MethodDecl("m", (), (ast.CCR(TRUE, ast.Assign("flag", i(1)), "m#0"),)),),
+        )
+        with pytest.raises(MonitorCheckError):
+            check_monitor(monitor)
+
+    def test_non_boolean_guard_rejected(self):
+        import repro.lang.ast as ast
+
+        monitor = ast.Monitor(
+            name="Bad",
+            fields=(ast.FieldDecl("x", INT, i(0)),),
+            methods=(ast.MethodDecl("m", (), (ast.CCR(v("x"), ast.Skip(), "m#0"),)),),
+        )
+        with pytest.raises(MonitorCheckError):
+            check_monitor(monitor)
+
+
+class TestPrettyPrinting:
+    def test_round_trip_through_parser(self):
+        monitor = parse_monitor(RW_LOCK_SOURCE)
+        text = pretty_monitor(monitor)
+        reparsed = parse_monitor(text)
+        assert reparsed.field_names() == monitor.field_names()
+        assert [m.name for m in reparsed.methods] == [m.name for m in monitor.methods]
+        assert reparsed.method("enterWriter").ccrs[0].guard == \
+            monitor.method("enterWriter").ccrs[0].guard

@@ -1,0 +1,125 @@
+"""End-to-end checks against the paper's worked examples (§2, §4.2).
+
+These tests pin down the *published* behaviour of Expresso on the
+readers-writers monitor of Figure 1: the inferred invariant, which CCRs
+signal at all, which signals are conditional, and where broadcasts remain —
+i.e. that the synthesized placement matches the hand-written Figure 2.
+"""
+
+import pytest
+
+from repro.lang import load_monitor
+from repro.logic import BOOL, ge, i, implies, land, v
+from repro.placement import compile_monitor
+from repro.smt import Solver
+
+
+RW_SOURCE = """
+monitor RWLock {
+    int readers = 0;
+    boolean writerIn = false;
+
+    atomic void enterReader() {
+        waituntil (!writerIn) { readers++; }
+    }
+    atomic void exitReader() {
+        if (readers > 0) { readers--; }
+    }
+    atomic void enterWriter() {
+        waituntil (readers == 0 && !writerIn) { writerIn = true; }
+    }
+    atomic void exitWriter() {
+        writerIn = false;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def rw_result():
+    return compile_monitor(RW_SOURCE)
+
+
+def _notes(result, label):
+    return result.placement.notifications_for(label)
+
+
+class TestReadersWritersInvariant:
+    def test_invariant_implies_readers_nonnegative(self, rw_result):
+        solver = Solver()
+        assert solver.check_valid(implies(rw_result.invariant, ge(v("readers"), i(0))))
+
+    def test_invariant_is_not_trivially_true(self, rw_result):
+        from repro.logic import TRUE
+
+        assert rw_result.invariant != TRUE
+
+
+class TestReadersWritersPlacement:
+    """Expected placement per §2: identical to the hand-written Figure 2."""
+
+    def test_enter_reader_signals_nothing(self, rw_result):
+        assert _notes(rw_result, "enterReader#0") == ()
+
+    def test_enter_writer_signals_nothing(self, rw_result):
+        assert _notes(rw_result, "enterWriter#0") == ()
+
+    def test_exit_reader_signals_writers_conditionally_no_broadcast(self, rw_result):
+        notes = _notes(rw_result, "exitReader#0")
+        assert len(notes) == 1
+        note = notes[0]
+        writer_guard = load_monitor(RW_SOURCE).method("enterWriter").ccrs[0].guard
+        assert note.predicate == writer_guard
+        assert note.conditional is True      # `if (readers == 0) writers.signal()`
+        assert note.broadcast is False       # signal, not signalAll
+
+    def test_exit_writer_notifies_both_conditions(self, rw_result):
+        notes = _notes(rw_result, "exitWriter#0")
+        assert len(notes) == 2
+        by_pred = {str(note.predicate): note for note in notes}
+        monitor = load_monitor(RW_SOURCE)
+        reader_guard = monitor.method("enterReader").ccrs[0].guard
+        writer_guard = monitor.method("enterWriter").ccrs[0].guard
+        reader_note = next(n for n in notes if n.predicate == reader_guard)
+        writer_note = next(n for n in notes if n.predicate == writer_guard)
+        # Readers: broadcast, unconditional (paper: `readers.signalAll()`).
+        assert reader_note.broadcast is True
+        assert reader_note.conditional is False
+        # Writers: single signal, conditional (paper: `if (readers == 0) writers.signal()`).
+        assert writer_note.broadcast is False
+        assert writer_note.conditional is True
+
+    def test_total_notification_count_matches_figure2(self, rw_result):
+        assert rw_result.placement.total_notifications() == 3
+
+    def test_explicit_monitor_has_two_condition_vars(self, rw_result):
+        assert len(rw_result.explicit.condition_vars) == 2
+
+
+class TestInvariantMatters:
+    def test_placement_without_invariant_is_more_conservative(self):
+        result = compile_monitor(RW_SOURCE, infer_invariant=False)
+        # Without `readers >= 0`, enterReader can no longer be proven signal-free.
+        assert len(result.placement.notifications_for("enterReader#0")) >= 1
+
+
+class TestThreadLocalRenaming:
+    """Example 4.2: with thread-local guards, broadcast must NOT be optimized away."""
+
+    LOCAL_SOURCE = """
+    monitor M {
+        int y = 0;
+        atomic void m1(int x) {
+            waituntil (x < y) { x = y + 1; }
+        }
+        atomic void m2() {
+            y = y + 2;
+        }
+    }
+    """
+
+    def test_m2_broadcasts_to_local_variable_guard(self):
+        result = compile_monitor(self.LOCAL_SOURCE)
+        notes = result.placement.notifications_for("m2#0")
+        assert len(notes) == 1
+        assert notes[0].broadcast is True

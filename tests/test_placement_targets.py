@@ -1,0 +1,117 @@
+"""Tests for the explicit-signal target representation and instrumentation."""
+
+import pytest
+
+from repro.benchmarks_lib import get_benchmark
+from repro.lang import load_monitor
+from repro.logic import TRUE, ge, i, v
+from repro.placement import (
+    ExplicitMonitor,
+    Notification,
+    compile_monitor,
+    generate_placement_triples,
+    instrument,
+    place_signals,
+)
+from repro.placement.algorithm import PlacementResult, guard_thread_locals, waiters_of
+from repro.placement.instrument import condition_var_names
+from repro.smt import Solver
+
+
+SOURCE = get_benchmark("BoundedBuffer").source
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    return load_monitor(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_monitor(SOURCE)
+
+
+class TestNotification:
+    def test_marker_matches_paper_notation(self):
+        predicate = ge(v("count"), i(1))
+        assert Notification(predicate, conditional=True, broadcast=False).marker == "?"
+        assert Notification(predicate, conditional=False, broadcast=True).marker == "✓"
+
+    def test_describe_mentions_kind_and_predicate(self):
+        note = Notification(ge(v("count"), i(1)), conditional=False, broadcast=True)
+        text = note.describe()
+        assert "broadcast" in text and "count" in text
+
+
+class TestExplicitMonitorStructure:
+    def test_condition_var_per_guard(self, compiled):
+        explicit = compiled.explicit
+        assert len(explicit.condition_vars) == 2
+        for guard, _name in explicit.condition_vars:
+            assert explicit.condition_var_for(guard) is not None
+
+    def test_condition_var_names_are_method_derived(self, monitor):
+        names = dict((name, guard) for guard, name in condition_var_names(monitor))
+        assert "putCond" in names and "takeCond" in names
+
+    def test_signals_and_broadcasts_partition(self, compiled):
+        for method in compiled.explicit.methods:
+            for ccr in method.ccrs:
+                assert set(ccr.signals) | set(ccr.broadcasts) == set(ccr.notifications)
+                assert not (set(ccr.signals) & set(ccr.broadcasts))
+
+    def test_method_lookup(self, compiled):
+        assert compiled.explicit.method("put").name == "put"
+        with pytest.raises(KeyError):
+            compiled.explicit.method("nonexistent")
+
+    def test_total_notifications_matches_placement(self, compiled):
+        assert compiled.explicit.total_notifications() == \
+            compiled.placement.total_notifications()
+
+
+class TestPlacementHelpers:
+    def test_guard_thread_locals(self):
+        spec = get_benchmark("Round Robin")
+        monitor = spec.monitor()
+        guard = monitor.method("takeTurn").ccrs[0].guard
+        assert guard_thread_locals(monitor, guard) == {"id"}
+
+    def test_waiters_of_groups_by_guard(self, monitor):
+        put_guard = monitor.method("put").ccrs[0].guard
+        waiters = waiters_of(monitor, put_guard)
+        assert [ccr.label for _m, ccr in waiters] == ["put#0"]
+
+    def test_generate_placement_triples_count(self, monitor):
+        triples = generate_placement_triples(monitor, TRUE)
+        # 2 CCRs x 2 guards x 2 triple kinds + 2 single-signal triples.
+        assert len(triples) == 10
+        assert all(triple.purpose for triple in triples)
+
+    def test_place_signals_is_deterministic(self, monitor):
+        solver = Solver()
+        first = place_signals(monitor, TRUE, solver)
+        second = place_signals(monitor, TRUE, Solver())
+        assert first.notifications == second.notifications
+
+    def test_instrument_preserves_structure(self, monitor):
+        placement = PlacementResult(monitor, TRUE,
+                                    {ccr.label: () for _m, ccr in monitor.ccrs()}, ())
+        explicit = instrument(monitor, placement)
+        assert isinstance(explicit, ExplicitMonitor)
+        assert [m.name for m in explicit.methods] == [m.name for m in monitor.methods]
+        assert explicit.total_notifications() == 0
+
+
+class TestPipelineOptions:
+    def test_commutativity_ablation_changes_bounded_buffer(self, monitor):
+        with_comm = compile_monitor(monitor)
+        without_comm = compile_monitor(monitor, use_commutativity=False)
+        assert with_comm.placement.broadcast_count() == 0
+        assert without_comm.placement.broadcast_count() > 0
+
+    def test_summary_mentions_invariant_and_counts(self, compiled):
+        text = compiled.summary()
+        assert "monitor invariant" in text
+        assert "notifications" in text
+        assert "analysis time" in text

@@ -1,0 +1,176 @@
+"""Unit tests for the SMT solver core (satisfiability, validity, models)."""
+
+import pytest
+
+from repro.logic import (
+    BOOL,
+    FALSE,
+    TRUE,
+    eq,
+    ge,
+    gt,
+    i,
+    iff,
+    implies,
+    ite,
+    land,
+    le,
+    lnot,
+    lor,
+    lt,
+    ne,
+    add,
+    sub,
+    mul,
+    v,
+    evaluate,
+    parse_formula,
+)
+from repro.smt import Solver, SatStatus, check_sat, check_valid, get_model
+
+
+@pytest.fixture
+def solver():
+    return Solver()
+
+
+x = v("x")
+y = v("y")
+z = v("z")
+p = v("p", BOOL)
+q = v("q", BOOL)
+
+
+class TestBasicSat:
+    def test_true_is_sat(self, solver):
+        assert solver.check_sat(TRUE).is_sat
+
+    def test_false_is_unsat(self, solver):
+        assert solver.check_sat(FALSE).is_unsat
+
+    def test_single_inequality_sat(self, solver):
+        result = solver.check_sat(ge(x, i(5)))
+        assert result.is_sat
+        assert result.model["x"] >= 5
+
+    def test_contradiction_unsat(self, solver):
+        assert solver.check_sat(land(gt(x, i(0)), lt(x, i(0)))).is_unsat
+
+    def test_equality_chain_sat(self, solver):
+        formula = land(eq(x, y), eq(y, z), eq(z, i(7)))
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert result.model["x"] == result.model["y"] == result.model["z"] == 7
+
+    def test_disequality_forces_gap(self, solver):
+        formula = land(ge(x, i(0)), le(x, i(1)), ne(x, i(0)), ne(x, i(1)))
+        assert solver.check_sat(formula).is_unsat
+
+    def test_boolean_structure(self, solver):
+        formula = land(lor(p, q), lnot(p))
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert result.model["q"] is True
+        assert result.model["p"] is False
+
+    def test_boolean_and_arithmetic_mix(self, solver):
+        formula = land(implies(p, ge(x, i(10))), p, le(x, i(10)))
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert result.model["x"] == 10
+
+    def test_integer_gap_unsat(self, solver):
+        # 2x == 1 has no integer solution.
+        formula = eq(mul(i(2), x), i(1))
+        assert solver.check_sat(formula).is_unsat
+
+    def test_integer_gap_sat_with_even(self, solver):
+        formula = eq(mul(i(2), x), i(6))
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert result.model["x"] == 3
+
+    def test_model_satisfies_formula(self, solver):
+        formula = land(ge(x, i(2)), le(x, i(8)), eq(add(x, y), i(10)), gt(y, i(3)))
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert evaluate(formula, result.model)
+
+    def test_ite_term_handling(self, solver):
+        formula = eq(ite(p, add(x, 1), x), i(5))
+        result = solver.check_sat(land(formula, p))
+        assert result.is_sat
+        assert result.model["x"] == 4
+
+    def test_bool_equality_atoms(self, solver):
+        formula = land(eq(p, q), p)
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert result.model["q"] is True
+
+
+class TestValidity:
+    def test_excluded_middle(self, solver):
+        assert solver.check_valid(lor(p, lnot(p)))
+
+    def test_arithmetic_tautology(self, solver):
+        assert solver.check_valid(implies(ge(x, i(0)), ge(add(x, 1), i(1))))
+
+    def test_invalid_formula(self, solver):
+        assert not solver.check_valid(ge(x, i(0)))
+
+    def test_readers_writers_key_triple(self, solver):
+        """The §2 enterReader VC: readers>=0 && !writerIn && !Pw ==> readers+1 != 0."""
+        readers = v("readers")
+        writer_in = v("writerIn", BOOL)
+        p_w = land(eq(readers, i(0)), lnot(writer_in))
+        pre = land(ge(readers, i(0)), lnot(writer_in), lnot(p_w))
+        post = lnot(land(eq(add(readers, 1), i(0)), lnot(writer_in)))
+        assert solver.check_valid(implies(pre, post))
+
+    def test_readers_writers_triple_needs_invariant(self, solver):
+        """Dropping readers >= 0 makes the same implication invalid (paper §2)."""
+        readers = v("readers")
+        writer_in = v("writerIn", BOOL)
+        p_w = land(eq(readers, i(0)), lnot(writer_in))
+        pre = land(lnot(writer_in), lnot(p_w))
+        post = lnot(land(eq(add(readers, 1), i(0)), lnot(writer_in)))
+        assert not solver.check_valid(implies(pre, post))
+
+    def test_transitivity(self, solver):
+        assert solver.check_valid(implies(land(le(x, y), le(y, z)), le(x, z)))
+
+    def test_iff_validity(self, solver):
+        assert solver.check_valid(iff(lt(x, y), lnot(ge(x, y))))
+
+    def test_implication_helpers(self, solver):
+        assert solver.check_implies(land(ge(x, i(1)), ge(y, i(2))), ge(add(x, y), i(3)))
+        assert not solver.check_implies(ge(x, i(0)), ge(x, i(1)))
+        assert solver.check_equivalent(sub(x, y), sub(x, y))
+
+
+class TestModuleLevelHelpers:
+    def test_check_sat_wrapper(self):
+        assert check_sat(ge(x, i(0))).is_sat
+
+    def test_check_valid_wrapper(self):
+        assert check_valid(lor(p, lnot(p)))
+
+    def test_get_model_wrapper(self):
+        model = get_model(land(eq(x, i(3)), p))
+        assert model == {"x": 3, "p": True}
+
+    def test_get_model_unsat_returns_none(self):
+        assert get_model(FALSE) is None
+
+
+class TestParserIntegration:
+    def test_parse_and_solve(self, solver):
+        formula = parse_formula("readers >= 0 && readers != 0 ==> readers >= 1")
+        assert solver.check_valid(formula)
+
+    def test_parse_bool_vars(self, solver):
+        formula = parse_formula("!writerIn && (writerIn || flag)")
+        result = solver.check_sat(formula)
+        assert result.is_sat
+        assert result.model["flag"] is True
