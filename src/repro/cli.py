@@ -11,6 +11,7 @@ Usage examples::
     # Reproduce a figure series or Table 1 on the built-in benchmarks.
     expresso bench --figure 8 --threads 2 4 8 --ops 20
     expresso bench --table 1
+    expresso bench --table 1 --parallel --workers 8
     expresso bench --summary --threads 4 8
 
     # List the built-in benchmarks.
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -36,6 +38,13 @@ from repro.harness.report import (
 from repro.lang.pretty import pretty_monitor
 from repro.logic.pretty import pretty
 from repro.placement.pipeline import ExpressoPipeline
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="thread ladder override (default: per-benchmark)")
     bench_cmd.add_argument("--ops", type=int, default=None,
                            help="operations per thread (default: per-benchmark)")
+    bench_cmd.add_argument("--parallel", action="store_true",
+                           help="compile the benchmark suite on a process pool "
+                                "(Table 1 only)")
+    bench_cmd.add_argument("--workers", type=_positive_int, default=None,
+                           help="process-pool size for --parallel "
+                                "(default: one per CPU)")
 
     sub.add_parser("list", help="list the built-in benchmarks")
     return parser
@@ -116,8 +131,13 @@ def _cmd_explain(args) -> int:
 def _cmd_bench(args) -> int:
     ladder = tuple(args.threads) if args.threads else None
     if args.table == "1":
-        rows = measure_compile_times()
+        start = time.perf_counter()
+        rows = measure_compile_times(parallel=args.parallel,
+                                     max_workers=args.workers)
+        wall = time.perf_counter() - start
         print(render_table1(rows))
+        mode = f"parallel x{args.workers or 'auto'}" if args.parallel else "sequential"
+        print(f"\nsuite wall clock: {wall:.2f}s ({mode})")
         return 0
     if args.benchmark:
         specs = [ALL_BENCHMARKS[args.benchmark]] if args.benchmark in ALL_BENCHMARKS else []

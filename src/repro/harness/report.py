@@ -80,18 +80,36 @@ def render_figure_table(series: FigureSeries, unit_scale: float = 1000.0) -> str
 
 
 def render_table1(rows: Sequence[CompileTimeRow]) -> str:
-    """Render Table 1 (compilation times) as text."""
+    """Render Table 1 (compilation times) as text.
+
+    Includes the solver-cache columns (hits / queries per compile) and a
+    totals row so batch runs surface aggregate compile time and hit rate.
+    """
     header = "Table 1: Expresso compilation time per benchmark"
     lines = [header, "-" * len(header)]
     lines.append("Benchmark".ljust(32) + "Time (sec.)".ljust(14) +
-                 "VCs".ljust(8) + "Notifications")
+                 "VCs".ljust(8) + "Cache".ljust(14) + "Notifications")
     for row in rows:
+        cache_column = f"{row.cache_hits}/{row.cache_hits + row.cache_misses}"
         lines.append(
             row.benchmark.ljust(32)
             + f"{row.seconds:.2f}".ljust(14)
             + str(row.validity_queries).ljust(8)
+            + cache_column.ljust(14)
             + f"{row.notifications} ({row.broadcasts} broadcasts)"
         )
+    total_seconds = sum(row.seconds for row in rows)
+    total_hits = sum(row.cache_hits for row in rows)
+    total_queries = total_hits + sum(row.cache_misses for row in rows)
+    hit_rate = f" ({total_hits / total_queries:.0%} hit rate)" if total_queries else ""
+    lines.append("-" * len(header))
+    lines.append(
+        "TOTAL".ljust(32)
+        + f"{total_seconds:.2f}".ljust(14)
+        + str(sum(row.validity_queries for row in rows)).ljust(8)
+        + f"{total_hits}/{total_queries}".ljust(14)
+        + hit_rate.strip()
+    )
     return "\n".join(lines)
 
 

@@ -51,6 +51,15 @@ class Expr:
         """Return the immediate sub-expressions of this node."""
         return ()
 
+    def __getstate__(self):
+        # The memoized hash (see _install_hash_caching) depends on the
+        # per-process string hash seed; shipping it to another process —
+        # e.g. pickling a benchmark spec to a compile worker — would break
+        # dict lookups there.  Recompute on first use instead.
+        state = self.__dict__.copy()
+        state.pop("_cached_hash", None)
+        return state
+
 
 # ---------------------------------------------------------------------------
 # Leaves
@@ -344,3 +353,31 @@ def walk(expr: Expr):
 def expr_size(expr: Expr) -> int:
     """Number of AST nodes in *expr* (used by minimality heuristics)."""
     return sum(1 for _ in walk(expr))
+
+
+def _install_hash_caching() -> None:
+    """Memoize ``__hash__`` on every (immutable) node class.
+
+    Expressions are used as dictionary keys throughout the solver stack —
+    atom tables, result caches, substitution maps — and the dataclass-
+    generated hash walks the whole subtree on every probe, which profiling
+    shows dominating large compiles.  Nodes are frozen, so the hash is
+    computed once and pinned on the instance.
+    """
+    node_classes = (Var, IntConst, BoolConst, Add, Sub, Neg, Mul, Ite,
+                    Eq, Ne, Lt, Le, Gt, Ge, Not, And, Or, Implies, Iff,
+                    Forall, Exists)
+    for cls in node_classes:
+        structural_hash = cls.__hash__
+
+        def cached_hash(self, _base=structural_hash):
+            value = self.__dict__.get("_cached_hash")
+            if value is None:
+                value = _base(self)
+                object.__setattr__(self, "_cached_hash", value)
+            return value
+
+        cls.__hash__ = cached_hash
+
+
+_install_hash_caching()

@@ -31,6 +31,7 @@ from repro.placement.algorithm import (
 )
 from repro.placement.instrument import instrument
 from repro.placement.target import ExplicitMonitor
+from repro.smt.cache import FormulaCache
 from repro.smt.solver import Solver
 
 
@@ -48,6 +49,10 @@ class ExpressoResult:
 
     def summary(self) -> str:
         """A short human-readable report (used by the CLI and examples)."""
+        hits = self.solver_statistics.get("cache_hits", 0)
+        misses = self.solver_statistics.get("cache_misses", 0)
+        total = hits + misses
+        hit_rate = f" ({hits / total:.0%} hit rate)" if total else ""
         lines = [
             f"monitor            : {self.monitor.name}",
             f"monitor invariant  : {pretty(self.invariant)}",
@@ -55,6 +60,7 @@ class ExpressoResult:
             f"({self.placement.broadcast_count()} broadcasts)",
             f"analysis time      : {self.elapsed_seconds:.3f}s",
             f"validity queries   : {self.solver_statistics.get('validity_queries', 0)}",
+            f"solver cache       : {hits} hits / {misses} misses{hit_rate}",
         ]
         return "\n".join(lines)
 
@@ -71,18 +77,48 @@ class ExpressoPipeline:
         benchmarks to show how much the invariant matters).
     extra_invariant_candidates:
         Additional candidate predicates seeded into Algorithm 2.
+    solver:
+        A (reusable, cached) solver shared across compiles.  When given, the
+        same atom table, learned theory lemmas, and result cache serve every
+        compile through this pipeline; per-compile statistics are still
+        reported as deltas.  When omitted, each compile gets a fresh solver
+        with its own result cache (the pipeline's hundreds of near-duplicate
+        VCs make even a compile-local cache worthwhile).
+    cache:
+        A formula cache for the per-compile solvers (ignored when *solver*
+        is given, which carries its own).  Pass a shared
+        :class:`~repro.smt.cache.FormulaCache` to memoize across compiles
+        without sharing solver state.
     """
 
     def __init__(self, use_commutativity: bool = True, infer_invariant: bool = True,
-                 extra_invariant_candidates: Sequence[Expr] = ()):
+                 extra_invariant_candidates: Sequence[Expr] = (),
+                 solver: Optional[Solver] = None,
+                 cache: Optional[FormulaCache] = None):
         self.use_commutativity = use_commutativity
         self.infer_invariant = infer_invariant
         self.extra_invariant_candidates = tuple(extra_invariant_candidates)
+        self._solver = solver
+        self._cache = cache
+
+    def config_key(self) -> Tuple:
+        """A hashable key identifying the *semantic* pipeline configuration.
+
+        Two pipelines with equal keys produce identical artifacts for the
+        same monitor; solver/cache sharing deliberately does not participate
+        (it changes speed, never results).  Used by the harness caches.
+        """
+        return (self.use_commutativity, self.infer_invariant,
+                self.extra_invariant_candidates)
 
     def compile(self, source: Union[str, Monitor]) -> ExpressoResult:
         """Compile implicit-signal monitor source (or a parsed monitor)."""
         start = time.perf_counter()
-        solver = Solver()
+        solver = self._solver
+        if solver is None:
+            cache = self._cache if self._cache is not None else FormulaCache()
+            solver = Solver(cache=cache)
+        stats_before = solver.snapshot_statistics()
         monitor = source if isinstance(source, Monitor) else load_monitor(source)
 
         if self.infer_invariant:
@@ -100,6 +136,11 @@ class ExpressoPipeline:
                                   use_commutativity=self.use_commutativity)
         explicit = instrument(monitor, placement)
         elapsed = time.perf_counter() - start
+        # Shared solvers serve many compiles; report this compile's share only.
+        stats_delta = {
+            key: value - stats_before.get(key, 0)
+            for key, value in solver.statistics.items()
+        }
         return ExpressoResult(
             monitor=monitor,
             invariant=invariant,
@@ -107,7 +148,7 @@ class ExpressoPipeline:
             placement=placement,
             explicit=explicit,
             elapsed_seconds=elapsed,
-            solver_statistics=dict(solver.statistics),
+            solver_statistics=stats_delta,
         )
 
 

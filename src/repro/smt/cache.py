@@ -1,0 +1,130 @@
+"""Memoization of satisfiability results across the pipeline's queries.
+
+Every stage of the Expresso pipeline — invariant inference, Algorithm 1
+placement, the §4.3 commutativity checks — funnels through
+``Solver.check_sat`` / ``check_valid``, and the verification conditions they
+generate are heavily repetitive: the same Hoare-triple obligations are
+re-proved while abduction probes candidate invariants, and ``check_valid``
+re-derives the same negated formulas.  A compile of a single benchmark
+already issues ~35% duplicate queries; batch suite compiles repeat whole
+families across configurations.
+
+:class:`FormulaCache` removes that redundancy.  It is keyed at two levels:
+
+* the **raw formula** (expression nodes are frozen dataclasses, so structural
+  equality and hashing are free) — a hit at this level also skips the
+  preprocessing pass entirely;
+* the **canonical form** (the preprocessed NNF skeleton with normalized
+  ``t <= 0`` atoms) — so syntactically different queries that canonicalize
+  identically share one solver run.  On a canonical hit the raw formula is
+  back-filled so the next occurrence hits the fast path.
+
+Cached entries store the *ingredients* of a result (status, theory model,
+boolean assignment) rather than a finished :class:`SatResult`, because models
+must be rebuilt against each caller's free variables: two formulas with the
+same canonical form can mention different (simplified-away) variables.
+
+``UNKNOWN`` results are never cached — they depend on the querying solver's
+iteration budget, not on the formula.
+
+The cache is shared freely: per-solver, per-pipeline, or process-global (see
+:data:`repro.smt.solver.SHARED_CACHE`).  Entries are bounded by ``max_entries``
+with FIFO eviction, which is enough for compile-shaped workloads where the
+working set is the current benchmark's VC family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.logic.terms import Expr
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The solver-independent ingredients of a satisfiability answer.
+
+    ``status_sat`` is True for SAT, False for UNSAT.  For SAT entries,
+    ``theory_model`` maps integer variable names to values and
+    ``bool_values`` maps boolean variable names to truth values; callers
+    rebuild a full model over their own formula's free variables.
+    """
+
+    status_sat: bool
+    theory_model: Optional[Dict[str, int]] = None
+    bool_values: Optional[Dict[str, bool]] = None
+
+
+class FormulaCache:
+    """Two-level (raw + canonical) cache of satisfiability results."""
+
+    def __init__(self, max_entries: int = 100_000):
+        self.max_entries = max_entries
+        self._raw: Dict[Expr, CachedResult] = {}
+        self._canonical: Dict[Expr, CachedResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookups -------------------------------------------------------------
+
+    def lookup_raw(self, formula: Expr) -> Optional[CachedResult]:
+        """Fast-path lookup keyed on the unprocessed formula."""
+        entry = self._raw.get(formula)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def lookup_canonical(self, raw: Expr, canonical: Expr) -> Optional[CachedResult]:
+        """Second-chance lookup keyed on the preprocessed canonical form.
+
+        On a hit the *raw* key is back-filled so the caller's next identical
+        query skips preprocessing altogether.
+        """
+        entry = self._canonical.get(canonical)
+        if entry is not None:
+            self.hits += 1
+            self._store(self._raw, raw, entry)
+        else:
+            self.misses += 1
+        return entry
+
+    # -- insertion -----------------------------------------------------------
+
+    def store(self, raw: Expr, canonical: Expr, entry: CachedResult) -> None:
+        """Record a freshly computed result under both keys."""
+        self._store(self._raw, raw, entry)
+        self._store(self._canonical, canonical, entry)
+
+    def _store(self, table: Dict[Expr, CachedResult], key: Expr,
+               entry: CachedResult) -> None:
+        if key in table:
+            table[key] = entry
+            return
+        if len(table) >= self.max_entries:
+            # FIFO eviction: drop the oldest insertion (dicts preserve order).
+            table.pop(next(iter(table)))
+        table[key] = entry
+
+    # -- maintenance / reporting ---------------------------------------------
+
+    def clear(self) -> None:
+        self._raw.clear()
+        self._canonical.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_entries": len(self._canonical),
+        }

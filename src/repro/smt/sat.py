@@ -1,10 +1,27 @@
-"""A small DPLL SAT solver with unit propagation.
+"""An iterative CDCL-style SAT solver with two-watched-literal propagation.
 
-The boolean skeletons produced by the pipeline are tiny (tens of variables),
-so a clean recursive DPLL with unit propagation and a most-occurrences
-branching heuristic is more than adequate and easy to audit.  The solver is
-incremental in the simplest sense: clauses can be added between ``solve``
-calls (used by the DPLL(T) loop to add theory-conflict blocking clauses).
+The boolean skeletons the pipeline produces used to be tiny, but reusable
+solvers, accumulated theory lemmas, and the deep skeletons of the larger
+suites can push instances past a thousand variables — far beyond what the old
+recursive DPLL could search without hitting Python's recursion limit, and
+expensive under its O(clauses) rescan per propagation pass.  This core keeps
+the same external surface (``add_clause`` / ``add_clauses`` / ``solve``) but
+searches iteratively over an assignment trail:
+
+* **two-watched-literal propagation** — each clause watches two of its
+  literals, so unit propagation only touches clauses whose watched literal
+  was just falsified instead of rescanning the whole clause database;
+* **conflict-driven blocking** — on a conflict the solver learns the clause
+  blocking the current decision sequence and backjumps one level, where the
+  learned clause immediately propagates, so no decision prefix is ever
+  re-explored;
+* **tautology filtering** — clauses containing ``x ∨ ¬x`` are dropped on add:
+  they can never propagate or conflict, and keeping them inflated the
+  branching heuristic's occurrence counts.
+
+The solver remains incremental in the simplest sense: clauses can be added
+between ``solve`` calls (the DPLL(T) loop adds theory-conflict blocking
+clauses), and each ``solve`` restarts the search from scratch.
 """
 
 from __future__ import annotations
@@ -14,19 +31,39 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 Clause = Tuple[int, ...]
 Assignment = Dict[int, bool]
 
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
 
 class SatSolver:
-    """DPLL solver over integer literals (positive index = true polarity)."""
+    """CDCL solver over integer literals (positive index = true polarity)."""
 
     def __init__(self, num_vars: int = 0):
-        self._clauses: List[Clause] = []
+        self._clauses: List[List[int]] = []
         self._num_vars = num_vars
+        self._has_empty_clause = False
+        # Static occurrence counts over the input clauses (branching heuristic).
+        self._occurrences: Dict[int, int] = {}
 
     def add_clause(self, clause: Sequence[int]) -> None:
-        """Add a clause; the empty clause makes the instance trivially unsat."""
-        normalized = tuple(dict.fromkeys(clause))
+        """Add a clause; the empty clause makes the instance trivially unsat.
+
+        Repeated literals are deduplicated and tautological clauses
+        (containing both ``x`` and ``¬x``) are dropped entirely.
+        """
+        normalized = list(dict.fromkeys(clause))
+        literal_set = set(normalized)
         for literal in normalized:
             self._num_vars = max(self._num_vars, abs(literal))
+        if any(-literal in literal_set for literal in normalized):
+            return  # tautology: satisfied under every assignment
+        if not normalized:
+            self._has_empty_clause = True
+            return
+        for literal in normalized:
+            var = abs(literal)
+            self._occurrences[var] = self._occurrences.get(var, 0) + 1
         self._clauses.append(normalized)
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
@@ -38,84 +75,197 @@ class SatSolver:
         return self._num_vars
 
     def solve(self, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
-        """Return a satisfying assignment (complete over all variables) or None."""
-        assignment: Assignment = {}
+        """Return a satisfying assignment or None.
+
+        The assignment covers every variable occurring in a clause or an
+        assumption; look up other variables with ``get(var, False)``.
+        """
+        if self._has_empty_clause:
+            return None
+        num_vars = max(self._num_vars,
+                       max((abs(lit) for lit in assumptions), default=0))
+        search = _Search(self._clauses, num_vars, self._occurrences)
+        return search.run(assumptions)
+
+
+class _Search:
+    """One iterative trail-based search over a snapshot of the clause database.
+
+    A fresh instance per ``solve`` call keeps the watch lists consistent with
+    clauses added between calls without any incremental bookkeeping.
+    """
+
+    def __init__(self, clauses: List[List[int]], num_vars: int,
+                 occurrences: Dict[int, int]):
+        self._clauses = list(clauses)  # learned clauses are appended locally
+        self._num_vars = num_vars
+        self._occurrences = occurrences
+        # values[var] is _TRUE / _FALSE / _UNASSIGNED.
+        self._values = [_UNASSIGNED] * (num_vars + 1)
+        self._trail: List[int] = []          # literals in assignment order
+        self._level_starts: List[int] = []   # trail index at each decision
+        self._decisions: List[int] = []      # the decision literal per level
+        # watches[lit] = clause indices currently watching literal `lit`.
+        self._watches: Dict[int, List[int]] = {}
+        # Variables sorted once by the static branching heuristic.  Only
+        # variables occurring in clauses are branched on: with a persistent
+        # atom table the variable id space spans *all* queries ever made,
+        # and scanning it per decision would be quadratic in session length.
+        self._branch_order = sorted(
+            occurrences,
+            key=lambda var: (-occurrences[var], var),
+        )
+
+    # -- assignment helpers --------------------------------------------------
+
+    def _value_of(self, literal: int) -> int:
+        value = self._values[abs(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _assign(self, literal: int) -> None:
+        self._values[abs(literal)] = _TRUE if literal > 0 else _FALSE
+        self._trail.append(literal)
+
+    def _watch(self, clause_index: int, literal: int) -> None:
+        self._watches.setdefault(literal, []).append(clause_index)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, assumptions: Sequence[int]) -> Optional[Assignment]:
+        if not self._init_watches():
+            return None
         for literal in assumptions:
-            var = abs(literal)
-            value = literal > 0
-            if var in assignment and assignment[var] != value:
-                return None
-            assignment[var] = value
-        result = self._dpll(assignment)
-        if result is None:
+            value = self._value_of(literal)
+            if value == _FALSE:
+                return None  # conflicting assumptions (or clash with a unit)
+            if value == _UNASSIGNED:
+                self._assign(literal)
+        if self._propagate(0) is not None:
+            # Conflict at decision level 0: the instance (with assumptions)
+            # is unsatisfiable.
             return None
-        # Complete the assignment for variables untouched by the search.
-        for var in range(1, self._num_vars + 1):
-            result.setdefault(var, False)
-        return result
 
-    # -- internals ----------------------------------------------------------
+        while True:
+            branch = self._pick_branch_literal()
+            if branch is None:
+                return self._extract_model()
+            self._level_starts.append(len(self._trail))
+            self._decisions.append(branch)
+            self._assign(branch)
+            while self._propagate(len(self._trail) - 1) is not None:
+                if not self._resolve_conflict():
+                    return None
 
-    def _dpll(self, assignment: Assignment) -> Optional[Assignment]:
-        assignment = dict(assignment)
-        status = self._propagate(assignment)
-        if status is False:
-            return None
-        branch_var = self._pick_branch_variable(assignment)
-        if branch_var is None:
-            return assignment
-        for value in (True, False):
-            assignment[branch_var] = value
-            result = self._dpll(assignment)
-            if result is not None:
-                return result
-            del assignment[branch_var]
-        return None
-
-    def _propagate(self, assignment: Assignment) -> bool:
-        """Unit propagation; returns False on conflict, True otherwise."""
-        changed = True
-        while changed:
-            changed = False
-            for clause in self._clauses:
-                unassigned = None
-                satisfied = False
-                unassigned_count = 0
-                for literal in clause:
-                    var = abs(literal)
-                    if var in assignment:
-                        if assignment[var] == (literal > 0):
-                            satisfied = True
-                            break
-                    else:
-                        unassigned = literal
-                        unassigned_count += 1
-                if satisfied:
-                    continue
-                if unassigned_count == 0:
+    def _init_watches(self) -> bool:
+        """Set up watches; propagate initial unit clauses.  False on conflict."""
+        for index, clause in enumerate(self._clauses):
+            if len(clause) == 1:
+                literal = clause[0]
+                value = self._value_of(literal)
+                if value == _FALSE:
                     return False
-                if unassigned_count == 1:
-                    assignment[abs(unassigned)] = unassigned > 0
-                    changed = True
+                if value == _UNASSIGNED:
+                    self._assign(literal)
+            else:
+                self._watch(index, clause[0])
+                self._watch(index, clause[1])
         return True
 
-    def _pick_branch_variable(self, assignment: Assignment) -> Optional[int]:
-        """Pick the unassigned variable occurring in the most unsatisfied clauses."""
-        counts: Dict[int, int] = {}
-        for clause in self._clauses:
-            clause_satisfied = any(
-                abs(lit) in assignment and assignment[abs(lit)] == (lit > 0) for lit in clause
-            )
-            if clause_satisfied:
+    def _propagate(self, queue_head: int) -> Optional[int]:
+        """Propagate from trail position *queue_head*; return a conflicting
+        clause index, or None when the assignment is propagation-complete."""
+        trail = self._trail
+        while queue_head < len(trail):
+            falsified = -trail[queue_head]
+            queue_head += 1
+            watchers = self._watches.get(falsified)
+            if not watchers:
                 continue
-            for literal in clause:
-                var = abs(literal)
-                if var not in assignment:
-                    counts[var] = counts.get(var, 0) + 1
-        if counts:
-            return max(counts, key=lambda var: (counts[var], -var))
-        # Any remaining unassigned variable (appearing only in satisfied clauses).
-        for var in range(1, self._num_vars + 1):
-            if var not in assignment:
+            keep: List[int] = []
+            position = 0
+            while position < len(watchers):
+                clause_index = watchers[position]
+                position += 1
+                clause = self._clauses[clause_index]
+                # Normalize so clause[0] is the other watched literal.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._value_of(other) == _TRUE:
+                    keep.append(clause_index)
+                    continue
+                # Look for a non-false replacement watch.
+                for slot in range(2, len(clause)):
+                    if self._value_of(clause[slot]) != _FALSE:
+                        clause[1], clause[slot] = clause[slot], clause[1]
+                        self._watch(clause_index, clause[1])
+                        break
+                else:
+                    keep.append(clause_index)
+                    if self._value_of(other) == _FALSE:
+                        # Conflict: restore the untraversed watchers and bail.
+                        keep.extend(watchers[position:])
+                        self._watches[falsified] = keep
+                        return clause_index
+                    self._assign(other)  # unit under the current assignment
+            self._watches[falsified] = keep
+        return None
+
+    def _resolve_conflict(self) -> bool:
+        """Learn the clause blocking the current decisions and backjump.
+
+        Returns False when the conflict is at decision level 0 (unsat).
+        """
+        if not self._decisions:
+            return False
+        # Decision learning: the conflict refutes the decision sequence
+        # d1..dk, so learn (¬d1 ∨ ... ∨ ¬dk) and backjump one level, where
+        # the learned clause asserts ¬dk.
+        learned = [-decision for decision in self._decisions]
+        asserted = learned[-1]
+        self._backtrack_one_level()
+        if len(learned) > 1:
+            clause_index = len(self._clauses)
+            self._clauses.append([asserted] + learned[:-1])
+            # Watch the asserted literal and the most recent false literal.
+            self._watch(clause_index, asserted)
+            self._watch(clause_index, learned[-2])
+        if self._value_of(asserted) == _FALSE:
+            # The blocked polarity is already forced; conflict persists at
+            # this level — resolve again (loops down to level 0 if needed).
+            return self._resolve_conflict()
+        if self._value_of(asserted) == _UNASSIGNED:
+            self._assign(asserted)
+        return True
+
+    def _backtrack_one_level(self) -> None:
+        mark = self._level_starts.pop()
+        self._decisions.pop()
+        while len(self._trail) > mark:
+            literal = self._trail.pop()
+            self._values[abs(literal)] = _UNASSIGNED
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        """The unassigned variable with the most clause occurrences, positive
+        polarity first (mirrors the old solver's value ordering)."""
+        for var in self._branch_order:
+            if self._values[var] == _UNASSIGNED:
                 return var
         return None
+
+    def _extract_model(self) -> Assignment:
+        """The satisfying assignment over every variable the search touched.
+
+        Variables that occur in no clause (possible when the id space is
+        shared with other queries) are absent; callers default them to False
+        via ``assignment.get(var, False)``, matching the old dense model's
+        completion value.
+        """
+        model: Assignment = {}
+        for var in self._occurrences:
+            model[var] = self._values[var] == _TRUE
+        for literal in self._trail:
+            model[abs(literal)] = literal > 0
+        return model

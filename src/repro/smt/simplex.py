@@ -23,35 +23,50 @@ from typing import Dict, List, Optional, Sequence
 from repro.smt.linear import Constraint
 
 
-def _interval_feasible(rows: Sequence[Constraint],
-                       variables: Sequence[str]) -> Optional[Dict[str, Fraction]]:
+def _interval_feasible(rows: Sequence[Constraint], variables: Sequence[str],
+                       row_indices: Sequence[int]) -> "_Outcome":
     """Decide a system of single-variable constraints by interval intersection."""
     lower: Dict[str, Fraction] = {}
     upper: Dict[str, Fraction] = {}
-    for constraint in rows:
+    lower_source: Dict[str, int] = {}
+    upper_source: Dict[str, int] = {}
+    for row_pos, constraint in enumerate(rows):
         (name, coefficient), = constraint.expr.coeffs
         bound = Fraction(-constraint.expr.constant, coefficient)
         if coefficient > 0:
             # coefficient * x + k <= 0  ==>  x <= -k / coefficient
             if name not in upper or bound < upper[name]:
                 upper[name] = bound
+                upper_source[name] = row_indices[row_pos]
         else:
             # coefficient < 0  ==>  x >= -k / coefficient
             if name not in lower or bound > lower[name]:
                 lower[name] = bound
+                lower_source[name] = row_indices[row_pos]
     model: Dict[str, Fraction] = {}
     for name in variables:
         low = lower.get(name)
         high = upper.get(name)
         if low is not None and high is not None and low > high:
-            return None
+            return _Outcome(None, [lower_source[name], upper_source[name]])
         if low is not None:
             model[name] = low
         elif high is not None:
             model[name] = high
         else:
             model[name] = Fraction(0)
-    return model
+    return _Outcome(model, None)
+
+
+class _Outcome:
+    """Feasibility outcome: a model, or an infeasible subset of row indices."""
+
+    __slots__ = ("model", "core")
+
+    def __init__(self, model: Optional[Dict[str, Fraction]],
+                 core: Optional[List[int]]):
+        self.model = model
+        self.core = core
 
 
 def rational_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, Fraction]]:
@@ -63,16 +78,36 @@ def rational_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, F
     by interval intersection (the common case for monitor VCs, and orders of
     magnitude cheaper than the tableau); everything else goes to the simplex.
     """
+    return _solve(constraints).model
+
+
+def rational_infeasible_subset(
+        constraints: Sequence[Constraint]) -> Optional[List[int]]:
+    """Return indices of an infeasible subset of *constraints*, or None.
+
+    None means the system is rationally feasible.  The subset is the support
+    of an infeasibility certificate — the two clashing bounds on the interval
+    fast path, or the constraints with a non-zero Farkas multiplier at the
+    Phase-1 optimum of the simplex.  It is small but not necessarily minimal;
+    callers that need irreducible cores shrink it with deletion probes, which
+    is far cheaper than probing the full system.
+    """
+    return _solve(constraints).core
+
+
+def _solve(constraints: Sequence[Constraint]) -> _Outcome:
     variables: List[str] = []
     seen = set()
     rows: List[Constraint] = []
+    row_indices: List[int] = []
     single_variable_only = True
-    for constraint in constraints:
+    for index, constraint in enumerate(constraints):
         if constraint.expr.is_constant():
             if constraint.expr.constant > 0:
-                return None
+                return _Outcome(None, [index])
             continue
         rows.append(constraint)
+        row_indices.append(index)
         names = constraint.variables()
         if len(names) > 1:
             single_variable_only = False
@@ -81,9 +116,9 @@ def rational_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, F
                 seen.add(name)
                 variables.append(name)
     if not rows:
-        return {}
+        return _Outcome({}, None)
     if single_variable_only:
-        return _interval_feasible(rows, variables)
+        return _interval_feasible(rows, variables, row_indices)
 
     num_vars = len(variables)
     num_rows = len(rows)
@@ -167,12 +202,20 @@ def rational_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, F
         if best_row is None:
             # Phase-1 objective is bounded below by 0, so this cannot happen;
             # guard anyway to avoid an infinite loop on numerical misuse.
-            return None
+            return _Outcome(None, list(row_indices))
         pivot(best_row, entering)
 
     # Optimum of the Phase-1 objective is -obj_value (we maintained the negated row).
     if -obj_value > 0:
-        return None
+        # Farkas support: the dual multiplier of row i is recovered from the
+        # reduced cost of its artificial column (c̄ = 1 - y_i); rows with a
+        # non-zero multiplier witness the infeasibility.
+        core = [
+            row_indices[row_idx]
+            for row_idx in range(num_rows)
+            if objective[2 * num_vars + num_rows + row_idx] != 1
+        ]
+        return _Outcome(None, core or list(row_indices))
 
     values = [Fraction(0)] * total_cols
     for row_idx, col in enumerate(basis):
@@ -180,4 +223,4 @@ def rational_feasible(constraints: Sequence[Constraint]) -> Optional[Dict[str, F
     model: Dict[str, Fraction] = {}
     for name, idx in var_index.items():
         model[name] = values[idx] - values[num_vars + idx]
-    return model
+    return _Outcome(model, None)

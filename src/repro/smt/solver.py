@@ -6,11 +6,25 @@ design is the standard offline lazy-SMT loop:
 
 1. preprocess the formula into NNF with canonical ``t <= 0`` atoms;
 2. Tseitin-encode the boolean skeleton and enumerate propositionally
-   satisfying assignments with the DPLL core;
+   satisfying assignments with the CDCL core;
 3. for each assignment, check the implied conjunction of integer constraints
    with branch-and-bound over the rational simplex;
-4. on a theory conflict, add a blocking clause built from a greedily
-   minimized unsatisfiable core and continue.
+4. on a theory conflict, add a blocking clause built from the Farkas
+   certificate of the simplex (shrunk by deletion probes) and continue.
+
+Instances are *reusable* across queries and designed to be shared by a whole
+compilation pipeline:
+
+* the :class:`~repro.smt.cnf.AtomTable` persists, so the same atom maps to
+  the same SAT variable in every query;
+* theory-conflict blocking clauses are valid lemmas over those persistent
+  atom variables, so they are replayed into every later query's SAT instance
+  — near-duplicate verification conditions stop rediscovering the same
+  arithmetic conflicts;
+* an optional :class:`~repro.smt.cache.FormulaCache` memoizes whole query
+  results (see that module for the canonicalization story);
+* conjunction-level theory verdicts are memoized as well, so re-enumerated
+  constraint sets skip branch-and-bound.
 
 Unknown results (budget exhaustion) are reported explicitly so that callers
 can degrade conservatively; they never occur on the pipeline's own VCs.
@@ -20,20 +34,30 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.logic import build
 from repro.logic.free_vars import free_vars
-from repro.logic.terms import BOOL, BoolConst, Exists, Expr, Forall, INT, Var
+from repro.logic.terms import (
+    BOOL, BoolConst, Exists, Expr, Forall, INT, Var, is_atom, walk,
+)
+from repro.smt.cache import CachedResult, FormulaCache
 from repro.smt.cnf import AtomTable, encode
 from repro.smt.intfeas import IntegerFeasibilityUnknown, integer_feasible
 from repro.smt.linear import Constraint
 from repro.smt.preprocess import atom_constraint, preprocess
 from repro.smt.sat import SatSolver
-from repro.smt.simplex import rational_feasible
+from repro.smt.simplex import rational_feasible, rational_infeasible_subset
 
 Value = Union[int, bool]
 Model = Dict[str, Value]
+
+#: Cap on memoized theory-conjunction verdicts per solver.
+_THEORY_CACHE_LIMIT = 50_000
+#: Cap on retained theory lemmas (oldest half dropped past this point).
+_LEMMA_LIMIT = 5_000
+#: Sentinel distinguishing "theory said infeasible" from "not memoized".
+_INFEASIBLE = object()
 
 
 class SatStatus(enum.Enum):
@@ -65,18 +89,29 @@ class SolverError(RuntimeError):
 class Solver:
     """Decision procedure for QF-LIA + booleans.
 
-    Instances are stateless between queries; the class exists to carry
-    configuration (iteration budget) and statistics that the evaluation
-    harness reports (number of SAT/theory calls).
+    Instances carry configuration (iteration budget, result cache), the
+    statistics the evaluation harness reports (query/theory-check/cache
+    counters), and reusable solver state (persistent atom table, learned
+    theory lemmas).  All state besides the statistics is semantically
+    transparent: a fresh solver answers every query identically, just more
+    slowly.
     """
 
-    def __init__(self, max_theory_iterations: int = 2000):
+    def __init__(self, max_theory_iterations: int = 2000,
+                 cache: Optional[FormulaCache] = None):
         self.max_theory_iterations = max_theory_iterations
+        self.cache = cache
         self.statistics: Dict[str, int] = {
             "sat_queries": 0,
             "theory_checks": 0,
             "validity_queries": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "theory_lemmas": 0,
         }
+        self._atom_table = AtomTable()
+        self._theory_lemmas: List[Tuple[int, ...]] = []
+        self._theory_verdicts: Dict[frozenset, object] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -86,42 +121,22 @@ class Solver:
         if _contains_quantifier(formula):
             raise SolverError("check_sat expects a quantifier-free formula; "
                               "use repro.smt.qe to eliminate quantifiers first")
+        if self.cache is not None:
+            entry = self.cache.lookup_raw(formula)
+            if entry is not None:
+                self.statistics["cache_hits"] += 1
+                return self._result_from_cache(formula, entry)
         processed = preprocess(formula)
-        if isinstance(processed, BoolConst):
-            if processed.value:
-                return SatResult(SatStatus.SAT, _default_model(formula))
-            return SatResult(SatStatus.UNSAT)
-
-        table = AtomTable()
-        sat_solver = SatSolver()
-        sat_solver.add_clauses(encode(processed, table))
-        atom_vars = table.atoms()
-
-        for _ in range(self.max_theory_iterations):
-            assignment = sat_solver.solve()
-            if assignment is None:
-                return SatResult(SatStatus.UNSAT)
-            constraints: List[Tuple[int, Constraint]] = []
-            bool_values: Dict[str, bool] = {}
-            for atom, var_id in atom_vars.items():
-                value = assignment.get(var_id, False)
-                constraint = atom_constraint(atom)
-                if constraint is not None:
-                    constraints.append((var_id if value else -var_id,
-                                        constraint if value else constraint.negate()))
-                elif isinstance(atom, Var) and atom.var_sort is BOOL:
-                    bool_values[atom.name] = value
-            self.statistics["theory_checks"] += 1
-            try:
-                theory_model = integer_feasible([c for _, c in constraints])
-            except IntegerFeasibilityUnknown:
-                return SatResult(SatStatus.UNKNOWN)
-            if theory_model is not None:
-                model = _build_model(formula, theory_model, bool_values)
-                return SatResult(SatStatus.SAT, model)
-            core = self._minimize_core(constraints)
-            sat_solver.add_clause([-literal for literal, _ in core])
-        return SatResult(SatStatus.UNKNOWN)
+        if self.cache is not None:
+            entry = self.cache.lookup_canonical(formula, processed)
+            if entry is not None:
+                self.statistics["cache_hits"] += 1
+                return self._result_from_cache(formula, entry)
+            self.statistics["cache_misses"] += 1
+        result, entry = self._solve_processed(formula, processed)
+        if self.cache is not None and entry is not None:
+            self.cache.store(formula, processed, entry)
+        return result
 
     def check_valid(self, formula: Expr) -> bool:
         """Return True iff *formula* is valid (its negation is unsatisfiable).
@@ -146,26 +161,122 @@ class Solver:
         result = self.check_sat(formula)
         return result.model if result.is_sat else None
 
+    def snapshot_statistics(self) -> Dict[str, int]:
+        """A point-in-time copy of the counters (for delta reporting)."""
+        return dict(self.statistics)
+
     # -- internals ----------------------------------------------------------
+
+    def _solve_processed(
+        self, formula: Expr, processed: Expr
+    ) -> Tuple[SatResult, Optional[CachedResult]]:
+        """Run the DPLL(T) loop; return the result and its cacheable form."""
+        if isinstance(processed, BoolConst):
+            if processed.value:
+                return SatResult(SatStatus.SAT, _default_model(formula)), \
+                    CachedResult(True, {}, {})
+            return SatResult(SatStatus.UNSAT), CachedResult(False)
+
+        table = self._atom_table
+        sat_solver = SatSolver()
+        sat_solver.add_clauses(encode(processed, table))
+        # Only atoms of *this* query feed the theory check: the persistent
+        # table also holds atoms of earlier queries, whose (arbitrary) SAT
+        # values must not be turned into constraints here.
+        query_atoms: Dict[Expr, int] = {}
+        for node in walk(processed):
+            if is_atom(node) and not isinstance(node, BoolConst):
+                query_atoms[node] = table.var_for(node)
+        # Replay only lemmas entirely over this query's atoms: a lemma
+        # mentioning foreign atoms can never block an assignment here, it
+        # would only bloat the instance (and, over a long session, make each
+        # query pay for every conflict ever seen).
+        atom_ids = set(query_atoms.values())
+        sat_solver.add_clauses(
+            lemma for lemma in self._theory_lemmas
+            if all(abs(literal) in atom_ids for literal in lemma)
+        )
+
+        for _ in range(self.max_theory_iterations):
+            assignment = sat_solver.solve()
+            if assignment is None:
+                return SatResult(SatStatus.UNSAT), CachedResult(False)
+            constraints: List[Tuple[int, Constraint]] = []
+            bool_values: Dict[str, bool] = {}
+            for atom, var_id in query_atoms.items():
+                value = assignment.get(var_id, False)
+                constraint = atom_constraint(atom)
+                if constraint is not None:
+                    constraints.append((var_id if value else -var_id,
+                                        constraint if value else constraint.negate()))
+                elif isinstance(atom, Var) and atom.var_sort is BOOL:
+                    bool_values[atom.name] = value
+            self.statistics["theory_checks"] += 1
+            try:
+                theory_model = self._theory_feasible([c for _, c in constraints])
+            except IntegerFeasibilityUnknown:
+                return SatResult(SatStatus.UNKNOWN), None
+            if theory_model is not None:
+                model = _build_model(formula, theory_model, bool_values)
+                return SatResult(SatStatus.SAT, model), \
+                    CachedResult(True, dict(theory_model), dict(bool_values))
+            core = self._minimize_core(constraints)
+            lemma = tuple(-literal for literal, _ in core)
+            sat_solver.add_clause(lemma)
+            if len(self._theory_lemmas) >= _LEMMA_LIMIT:
+                del self._theory_lemmas[:_LEMMA_LIMIT // 2]
+            self._theory_lemmas.append(lemma)
+            self.statistics["theory_lemmas"] += 1
+        return SatResult(SatStatus.UNKNOWN), None
+
+    def _theory_feasible(
+        self, constraints: List[Constraint]
+    ) -> Optional[Dict[str, int]]:
+        """Memoized integer feasibility of a constraint conjunction."""
+        key = frozenset(constraints)
+        verdict = self._theory_verdicts.get(key)
+        if verdict is _INFEASIBLE:
+            return None
+        if verdict is not None:
+            return verdict  # a cached model
+        model = integer_feasible(constraints)
+        if len(self._theory_verdicts) >= _THEORY_CACHE_LIMIT:
+            self._theory_verdicts.clear()
+        self._theory_verdicts[key] = _INFEASIBLE if model is None else model
+        return model
+
+    def _result_from_cache(self, formula: Expr, entry: CachedResult) -> SatResult:
+        if not entry.status_sat:
+            return SatResult(SatStatus.UNSAT)
+        model = _build_model(formula, entry.theory_model or {},
+                             entry.bool_values or {})
+        return SatResult(SatStatus.SAT, model)
 
     def _minimize_core(
         self, constraints: List[Tuple[int, Constraint]]
     ) -> List[Tuple[int, Constraint]]:
-        """Greedy deletion-based minimization of an infeasible constraint set.
+        """Extract a small infeasible subset to use as a blocking clause.
 
-        Minimization works on the rational relaxation (cheap and sound for
-        blocking purposes: any rationally-infeasible subset is also
-        integer-infeasible).  If the conflict is integer-only, the full set is
-        used as the core.  Small cores are essential: they block whole families
-        of propositional assignments at once (e.g. ``x == 0`` with ``x == 1``),
-        and the interval fast path in the simplex keeps each deletion probe
-        cheap.
+        The Farkas certificate of the Phase-1 simplex pins down the (usually
+        2–4) constraints that witness rational infeasibility; greedy deletion
+        then shrinks that support to an irreducible core.  Probing only the
+        certificate support instead of the full constraint set is the
+        difference between O(|core|) and O(n) simplex runs per conflict.  If
+        the conflict is integer-only (rationally feasible), the full set is
+        used as the core.  Small cores are essential: they block whole
+        families of propositional assignments at once (e.g. ``x == 0`` with
+        ``x == 1``).
         """
-        if rational_feasible([c for _, c in constraints]) is not None:
+        subset = rational_infeasible_subset([c for _, c in constraints])
+        if subset is None:
             return constraints
-        core = list(constraints)
+        core = [constraints[index] for index in subset]
+        if rational_feasible([c for _, c in core]) is not None:
+            # Certificate support failed verification (defensive; unseen in
+            # practice) — fall back to deletion over the full set.
+            core = list(constraints)
         index = 0
-        while index < len(core):
+        while index < len(core) and len(core) > 1:
             candidate = core[:index] + core[index + 1:]
             if rational_feasible([c for _, c in candidate]) is None:
                 core = candidate
@@ -200,19 +311,31 @@ def _build_model(formula: Expr, theory_model: Dict[str, int],
 
 # -- module-level convenience wrappers --------------------------------------
 
-_DEFAULT_SOLVER = Solver()
+#: Process-wide result cache shared by the convenience wrappers and any
+#: caller that wants cross-pipeline memoization (e.g. batch suite compiles).
+SHARED_CACHE = FormulaCache()
+
+
+def _fresh_solver() -> Solver:
+    """A stats-isolated solver for one wrapper call.
+
+    Each call gets its own statistics (no cross-caller contamination — the
+    old module-level singleton accumulated query counts across unrelated
+    callers) while still sharing the process-wide formula cache.
+    """
+    return Solver(cache=SHARED_CACHE)
 
 
 def check_sat(formula: Expr) -> SatResult:
-    """Module-level satisfiability check using a shared default solver."""
-    return _DEFAULT_SOLVER.check_sat(formula)
+    """Module-level satisfiability check using a fresh stats-isolated solver."""
+    return _fresh_solver().check_sat(formula)
 
 
 def check_valid(formula: Expr) -> bool:
-    """Module-level validity check using a shared default solver."""
-    return _DEFAULT_SOLVER.check_valid(formula)
+    """Module-level validity check using a fresh stats-isolated solver."""
+    return _fresh_solver().check_valid(formula)
 
 
 def get_model(formula: Expr) -> Optional[Model]:
-    """Module-level model query using a shared default solver."""
-    return _DEFAULT_SOLVER.get_model(formula)
+    """Module-level model query using a fresh stats-isolated solver."""
+    return _fresh_solver().get_model(formula)

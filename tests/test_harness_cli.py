@@ -36,6 +36,22 @@ class TestSaturationHarness:
         with pytest.raises(ValueError):
             build_monitor_class(spec, "magic")
 
+    def test_class_cache_keyed_on_pipeline_config(self):
+        """Regression: a monitor compiled for the ablation config must not be
+        served from the cache to default-config runs (and vice versa)."""
+        from repro.placement.pipeline import ExpressoPipeline
+
+        spec = get_benchmark("BoundedBuffer")
+        default_cls = build_monitor_class(spec, "expresso")
+        ablation = ExpressoPipeline(use_commutativity=False)
+        ablation_cls = build_monitor_class(spec, "expresso", ablation)
+        assert ablation_cls is not default_cls
+        # Equal configurations still share one cache entry.
+        assert build_monitor_class(spec, "expresso") is default_cls
+        assert build_monitor_class(
+            spec, "expresso", ExpressoPipeline(use_commutativity=False)
+        ) is ablation_cls
+
     def test_timeout_detection(self):
         """A workload that can never finish must surface as SaturationTimeout."""
         from repro.benchmarks_lib.spec import BenchmarkSpec
@@ -74,7 +90,24 @@ class TestReports:
         assert len(rows) == 1
         assert rows[0].benchmark == "PendingPostQueue"
         assert rows[0].seconds > 0
-        assert "Table 1" in render_table1(rows)
+        assert rows[0].cache_hits + rows[0].cache_misses > 0
+        rendered = render_table1(rows)
+        assert "Table 1" in rendered
+        assert "Cache" in rendered and "TOTAL" in rendered
+
+    def test_table1_parallel_matches_sequential(self):
+        """The process-pool batch mode must produce the same rows (modulo
+        timing) in the same order as the sequential path."""
+        specs = [get_benchmark("PendingPostQueue"),
+                 get_benchmark("SimpleBlockingDeployment")]
+        sequential = measure_compile_times(specs)
+        parallel = measure_compile_times(specs, parallel=True, max_workers=2)
+        assert [row.benchmark for row in parallel] == [row.benchmark for row in sequential]
+        for seq_row, par_row in zip(sequential, parallel):
+            assert par_row.validity_queries == seq_row.validity_queries
+            assert par_row.notifications == seq_row.notifications
+            assert par_row.broadcasts == seq_row.broadcasts
+            assert par_row.invariant == seq_row.invariant
 
 
 class TestCli:

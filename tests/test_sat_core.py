@@ -1,0 +1,220 @@
+"""Unit tests for the iterative CDCL SAT core (repro.smt.sat).
+
+The solver used to be a recursive DPLL; these tests pin down the edge cases
+of the rebuilt trail-based search — empty clauses, unit-only instances,
+conflicting assumptions, tautology filtering — and the scaling property that
+motivated the rebuild: a multi-thousand-variable skeleton whose implication
+chain would have overflowed the recursion limit of the old search.
+"""
+
+import pytest
+
+from repro.smt.cache import CachedResult, FormulaCache
+from repro.smt.sat import SatSolver
+
+
+def assert_satisfies(model, clauses):
+    __tracebackhint__ = True
+    for clause in clauses:
+        assert any(model.get(abs(lit), False) == (lit > 0) for lit in clause), \
+            f"clause {clause} unsatisfied by {model}"
+
+
+class TestBasics:
+    def test_no_clauses_is_sat(self):
+        assert SatSolver().solve() is not None
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([])
+        assert solver.solve() is None
+
+    def test_empty_clause_beats_later_clauses(self):
+        solver = SatSolver()
+        solver.add_clause([])
+        solver.add_clause([1])
+        assert solver.solve() is None
+
+    def test_single_unit(self):
+        solver = SatSolver()
+        solver.add_clause([-3])
+        model = solver.solve()
+        assert model[3] is False
+
+    def test_unit_only_instance(self):
+        solver = SatSolver()
+        units = [1, -2, 3, -4, 5]
+        for literal in units:
+            solver.add_clause([literal])
+        model = solver.solve()
+        for literal in units:
+            assert model[abs(literal)] is (literal > 0)
+
+    def test_contradicting_units_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([2])
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+    def test_propagation_chain(self):
+        solver = SatSolver()
+        solver.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+        model = solver.solve()
+        assert all(model[var] for var in (1, 2, 3, 4))
+
+    def test_requires_search(self):
+        clauses = [[1, 2], [-1, 2], [1, -2]]
+        solver = SatSolver()
+        solver.add_clauses(clauses)
+        model = solver.solve()
+        assert_satisfies(model, clauses)
+
+    def test_unsat_needs_conflict_analysis(self):
+        # All four polarity combinations of two variables are blocked.
+        solver = SatSolver()
+        solver.add_clauses([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert solver.solve() is None
+
+
+class TestAssumptions:
+    def test_assumption_forces_polarity(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        model = solver.solve([-1])
+        assert model[1] is False
+        assert model[2] is True
+
+    def test_conflicting_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([1, -1]) is None
+
+    def test_assumption_conflicts_with_unit(self):
+        solver = SatSolver()
+        solver.add_clause([5])
+        assert solver.solve([-5]) is None
+
+    def test_assumption_on_unconstrained_variable(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        model = solver.solve([9])
+        assert model[9] is True
+
+    def test_assumptions_make_instance_unsat(self):
+        solver = SatSolver()
+        solver.add_clauses([[1, 2], [-1, 3]])
+        model = solver.solve([-2])
+        assert model[1] is True and model[3] is True
+        assert solver.solve([1, -3]) is None  # [-1, 3] forces 3
+
+
+class TestTautologies:
+    def test_tautological_clause_dropped(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        # The clause constrains nothing; the instance is vacuously sat.
+        model = solver.solve()
+        assert model is not None
+
+    def test_tautology_does_not_mask_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([2, -2, 1])  # tautological, must not matter
+        solver.add_clause([3])
+        solver.add_clause([-3])
+        assert solver.solve() is None
+
+    def test_tautology_does_not_skew_occurrences(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver._occurrences == {}
+
+    def test_duplicate_literals_deduplicated(self):
+        solver = SatSolver()
+        solver.add_clause([4, 4, 4])
+        model = solver.solve()
+        assert model[4] is True
+
+
+class TestIncremental:
+    def test_clauses_added_between_solves(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        first = solver.solve()
+        assert first is not None
+        # Block both variables; the instance becomes unsat.
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+    def test_blocking_clause_enumeration(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        seen = set()
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            key = (model[1], model[2])
+            assert key not in seen, "enumeration revisited a model"
+            seen.add(key)
+            solver.add_clause([-1 if model[1] else 1, -2 if model[2] else 2])
+        assert len(seen) == 3  # all assignments except (False, False)
+
+
+class TestDeepSkeletons:
+    def test_two_thousand_variable_chain(self):
+        """Regression: the recursive search overflowed on deep skeletons."""
+        solver = SatSolver()
+        n = 2000
+        solver.add_clause([1])
+        for var in range(1, n):
+            solver.add_clause([-var, var + 1])
+        model = solver.solve()
+        assert model is not None
+        assert all(model[var] for var in range(1, n + 1))
+
+    def test_deep_chain_unsat(self):
+        solver = SatSolver()
+        n = 2500
+        solver.add_clause([1])
+        for var in range(1, n):
+            solver.add_clause([-var, var + 1])
+        solver.add_clause([-n])
+        assert solver.solve() is None
+
+    def test_wide_instance_with_search(self):
+        # 1000 independent variable pairs, each needing one decision.
+        solver = SatSolver()
+        clauses = []
+        for pair in range(1000):
+            a, b = 2 * pair + 1, 2 * pair + 2
+            clauses += [[a, b], [-a, -b]]
+        solver.add_clauses(clauses)
+        model = solver.solve()
+        assert_satisfies(model, clauses)
+
+
+class TestFormulaCache:
+    def test_fifo_eviction(self):
+        from repro.logic import i, eq, v
+
+        cache = FormulaCache(max_entries=2)
+        entries = [(eq(v("x"), i(k)), CachedResult(True, {"x": k}, {}))
+                   for k in range(3)]
+        for formula, entry in entries:
+            cache.store(formula, formula, entry)
+        assert cache.lookup_raw(entries[0][0]) is None  # evicted
+        assert cache.lookup_raw(entries[2][0]) is not None
+
+    def test_hit_and_miss_counters(self):
+        from repro.logic import i, eq, v
+
+        cache = FormulaCache()
+        formula = eq(v("x"), i(1))
+        assert cache.lookup_raw(formula) is None
+        assert cache.lookup_canonical(formula, formula) is None
+        assert cache.misses == 1
+        cache.store(formula, formula, CachedResult(False))
+        assert cache.lookup_raw(formula).status_sat is False
+        assert cache.hits == 1
+        assert 0.0 < cache.hit_rate < 1.0

@@ -27,6 +27,7 @@ from repro.logic import (
     parse_formula,
 )
 from repro.smt import Solver, SatStatus, check_sat, check_valid, get_model
+from repro.smt.cache import FormulaCache
 
 
 @pytest.fixture
@@ -162,6 +163,76 @@ class TestModuleLevelHelpers:
 
     def test_get_model_unsat_returns_none(self):
         assert get_model(FALSE) is None
+
+    def test_wrapper_statistics_isolation(self):
+        """Regression: the old module-level singleton accumulated statistics
+        across unrelated callers, contaminating per-compile query counts."""
+        from repro.smt import solver as solver_module
+
+        assert not hasattr(solver_module, "_DEFAULT_SOLVER")
+        own = Solver()
+        own.check_valid(lor(p, lnot(p)))
+        queries_before = dict(own.statistics)
+        check_valid(lor(q, lnot(q)))
+        check_sat(ge(x, i(0)))
+        get_model(land(eq(x, i(1)), q))
+        assert own.statistics == queries_before
+
+
+class TestSolverReuseAndCache:
+    def test_reused_solver_answers_match_fresh(self, solver):
+        queries = [
+            land(gt(x, i(0)), lt(x, i(0))),          # unsat
+            ge(x, i(5)),                              # sat
+            land(ge(x, i(0)), le(x, i(1)), ne(x, i(0)), ne(x, i(1))),  # unsat
+            land(implies(p, ge(x, i(10))), p, le(x, i(10))),           # sat
+        ]
+        for formula in queries:
+            assert solver.check_sat(formula).status is \
+                Solver().check_sat(formula).status
+        # Learned theory lemmas persist; answers stay correct on repeat.
+        for formula in queries:
+            assert solver.check_sat(formula).status is \
+                Solver().check_sat(formula).status
+
+    def test_cached_solver_counts_hits_and_skips_work(self):
+        cache = FormulaCache()
+        solver = Solver(cache=cache)
+        formula = implies(ge(x, i(0)), ge(add(x, 1), i(1)))
+        assert solver.check_valid(formula)
+        checks_after_first = solver.statistics["theory_checks"]
+        assert solver.check_valid(formula)
+        assert solver.statistics["cache_hits"] >= 1
+        assert solver.statistics["theory_checks"] == checks_after_first
+        assert cache.hits >= 1
+
+    def test_cache_shared_across_solvers_rebuilds_models(self):
+        cache = FormulaCache()
+        first, second = Solver(cache=cache), Solver(cache=cache)
+        formula = land(ge(x, i(2)), le(x, i(8)), eq(add(x, y), i(10)))
+        model_a = first.check_sat(formula).model
+        model_b = second.check_sat(formula).model
+        assert second.statistics["cache_hits"] == 1
+        assert model_a == model_b
+        assert evaluate(formula, model_b)
+
+    def test_unsat_results_cached(self):
+        cache = FormulaCache()
+        solver = Solver(cache=cache)
+        formula = land(gt(x, i(0)), lt(x, i(0)))
+        assert solver.check_sat(formula).is_unsat
+        assert solver.check_sat(formula).is_unsat
+        assert solver.statistics["cache_hits"] == 1
+
+    def test_deep_boolean_skeleton_no_recursion_error(self):
+        """A 2000-variable implication chain through the full solver stack."""
+        chain = [v(f"b{k}", BOOL) for k in range(2000)]
+        formula = land(chain[0],
+                       *[implies(chain[k], chain[k + 1]) for k in range(1999)])
+        result = Solver().check_sat(formula)
+        assert result.is_sat
+        assert result.model["b0"] is True
+        assert result.model["b1999"] is True
 
 
 class TestParserIntegration:
