@@ -1,0 +1,56 @@
+"""Exploration-engine throughput: schedules per second.
+
+The exploration engine's practical value scales with how many schedules it
+can push through per second (a lost-wakeup needle is found by volume).  Each
+pytest-benchmark case measures one (benchmark, strategy) cell: the wall
+clock of a fixed-budget campaign over the Expresso-compiled coop monitor,
+with compilation and class materialization excluded from the measured
+region.  DFS additionally reports how many distinct global states the
+shared-state hashing visited.
+
+Run ``pytest benchmarks/bench_explore.py --benchmark-only``; environment
+knobs: ``REPRO_EXPLORE_BUDGET`` (schedules per campaign, default 200).
+"""
+
+import os
+
+import pytest
+
+from repro.benchmarks_lib import get_benchmark
+from repro.explore import coop_monitor_and_class, explore_class
+
+_BUDGET = int(os.environ.get("REPRO_EXPLORE_BUDGET", "200"))
+
+_BENCHMARKS = ("BoundedBuffer", "Readers-Writers", "PendingPostQueue")
+_STRATEGIES = ("random", "pct", "dfs")
+
+_CASES = [
+    pytest.param(name, strategy,
+                 id=f"{name.replace(' ', '')}-{strategy}")
+    for name in _BENCHMARKS
+    for strategy in _STRATEGIES
+]
+
+
+@pytest.mark.parametrize("name,strategy", _CASES)
+def test_explore_throughput(benchmark, name, strategy):
+    """Schedules/second of one exploration campaign (compile excluded)."""
+    spec = get_benchmark(name)
+    monitor, coop_class = coop_monitor_and_class(spec, "expresso")
+    # DFS on a small configuration (it exhausts), sampling on a bigger one.
+    threads, ops = (2, 2) if strategy == "dfs" else (4, 3)
+    programs = spec.workload(threads, ops)
+
+    def campaign():
+        return explore_class(monitor, coop_class, programs, strategy=strategy,
+                             budget=_BUDGET, seed=0, minimize=False)
+
+    result = benchmark.pedantic(campaign, iterations=1, rounds=3)
+    assert result.ok, result.failures
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["schedules_run"] = result.schedules_run
+    benchmark.extra_info["schedules_per_second"] = round(result.schedules_per_second, 1)
+    if strategy == "dfs":
+        benchmark.extra_info["distinct_states"] = result.distinct_states
+        benchmark.extra_info["exhausted"] = result.exhausted

@@ -101,6 +101,25 @@ def _true():
     return TRUE
 
 
+def shuffle_workload(workload: Workload, seed: int) -> Workload:
+    """Reproducibly permute which thread runs which op sequence (``bench --seed``).
+
+    Only the *assignment* of operation sequences to threads is shuffled;
+    every sequence keeps its internal order.  That matters: workload roles
+    carry ordering dependencies (enterWriter must precede its exitWriter, a
+    gate must open before the entries), so permuting *within* a thread could
+    self-deadlock the workload.  Permuting across threads preserves balance
+    and termination while making thread start-up/contention order
+    seed-dependent.
+    """
+    import random
+
+    rng = random.Random(str(seed))
+    shuffled = [list(ops) for ops in workload]
+    rng.shuffle(shuffled)
+    return shuffled
+
+
 def round_robin_roles(threads: int, ops: int,
                       roles: Sequence[Callable[[int, int], ThreadOps]]) -> Workload:
     """Assign roles to threads round-robin; each role builds its own op list."""

@@ -12,7 +12,12 @@ Usage examples::
     expresso bench --figure 8 --threads 2 4 8 --ops 20
     expresso bench --table 1
     expresso bench --table 1 --parallel --workers 8
-    expresso bench --summary --threads 4 8
+    expresso bench --summary --threads 4 8 --seed 7 --json
+
+    # Systematically explore schedules of the compiled monitors.
+    expresso explore --benchmark BoundedBuffer --strategy dfs
+    expresso explore --strategy random --schedules 500 --seed 42 --json
+    expresso explore --fuzz 25 --seed 1 --schedules 100
 
     # List the built-in benchmarks.
     expresso list
@@ -21,6 +26,8 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 from pathlib import Path
@@ -31,6 +38,7 @@ from repro.codegen import generate_java, generate_python_explicit
 from repro.harness.compile_time import measure_compile_times
 from repro.harness.report import (
     figure_report,
+    render_explore_table,
     render_figure_table,
     render_table1,
     speedup_summary,
@@ -85,6 +93,40 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--workers", type=_positive_int, default=None,
                            help="process-pool size for --parallel "
                                 "(default: one per CPU)")
+    bench_cmd.add_argument("--seed", type=int, default=None,
+                           help="reproducibly permute which thread runs which "
+                                "operation sequence")
+    bench_cmd.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of text tables")
+
+    explore_cmd = sub.add_parser(
+        "explore", help="systematically explore schedules of compiled monitors")
+    explore_cmd.add_argument("--benchmark", action="append", default=None,
+                             help="benchmark to explore (repeatable; default: all)")
+    explore_cmd.add_argument("--discipline", default="expresso",
+                             choices=("expresso", "explicit", "autosynch", "implicit"),
+                             help="which compiled discipline to schedule "
+                                  "(default: expresso)")
+    explore_cmd.add_argument("--strategy", default="random",
+                             choices=("dfs", "random", "pct"),
+                             help="exploration strategy (default: random)")
+    explore_cmd.add_argument("--schedules", type=_positive_int, default=200,
+                             help="schedule budget per benchmark (default: 200)")
+    explore_cmd.add_argument("--threads", type=_positive_int, default=3,
+                             help="virtual threads per schedule (default: 3)")
+    explore_cmd.add_argument("--ops", type=_positive_int, default=2,
+                             help="operations per virtual thread (default: 2)")
+    explore_cmd.add_argument("--seed", type=int, default=0,
+                             help="base seed for random/pct walks (default: 0)")
+    explore_cmd.add_argument("--max-steps", type=_positive_int, default=20_000,
+                             help="per-schedule step bound (default: 20000)")
+    explore_cmd.add_argument("--fuzz", type=_positive_int, default=None, metavar="N",
+                             help="instead of the registry, generate and explore "
+                                  "N random monitors end to end")
+    explore_cmd.add_argument("--keep-going", action="store_true",
+                             help="keep exploring after the first divergence")
+    explore_cmd.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON instead of text")
 
     sub.add_parser("list", help="list the built-in benchmarks")
     return parser
@@ -135,6 +177,11 @@ def _cmd_bench(args) -> int:
         rows = measure_compile_times(parallel=args.parallel,
                                      max_workers=args.workers)
         wall = time.perf_counter() - start
+        if args.json:
+            print(json.dumps({"table": 1, "wall_seconds": wall,
+                              "rows": [dataclasses.asdict(row) for row in rows]},
+                             indent=2))
+            return 0
         print(render_table1(rows))
         mode = f"parallel x{args.workers or 'auto'}" if args.parallel else "sequential"
         print(f"\nsuite wall clock: {wall:.2f}s ({mode})")
@@ -154,16 +201,81 @@ def _cmd_bench(args) -> int:
     all_series = []
     for spec in specs:
         series = figure_report(spec, thread_ladder=ladder or spec.thread_ladder[:3],
-                               ops_per_thread=args.ops)
+                               ops_per_thread=args.ops, seed=args.seed)
         all_series.append(series)
-        print(render_figure_table(series))
-        print()
-    if args.summary or not (args.figure or args.benchmark):
-        summary = speedup_summary(all_series)
+        if not args.json:
+            print(render_figure_table(series))
+            print()
+    want_summary = args.summary or not (args.figure or args.benchmark)
+    summary = speedup_summary(all_series) if want_summary else {}
+    if args.json:
+        print(json.dumps({"seed": args.seed,
+                          "series": [series.to_dict() for series in all_series],
+                          "speedup_summary": summary}, indent=2))
+        return 0
+    if want_summary:
         print("Expresso geometric-mean speedup over:")
         for baseline, speedup in sorted(summary.items()):
             print(f"  {baseline:12s} {speedup:.2f}x")
     return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.explore import explore_benchmark
+    from repro.explore.genmon import fuzz_pipeline
+
+    if args.fuzz is not None:
+        if args.benchmark or args.discipline != "expresso":
+            print("error: --fuzz generates its own monitors and always explores "
+                  "the expresso-compiled placement; it cannot be combined with "
+                  "--benchmark or --discipline", file=sys.stderr)
+            return 2
+        report = fuzz_pipeline(count=args.fuzz, seed=args.seed,
+                               threads=args.threads, ops=args.ops,
+                               strategy=args.strategy, budget=args.schedules,
+                               max_steps=args.max_steps,
+                               stop_on_failure=not args.keep_going)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(render_explore_table(report.results))
+            for name, error in report.compile_errors:
+                print(f"\nCOMPILE ERROR in {name}: {error}")
+            for result in report.results:
+                for failure in result.failures:
+                    print(f"\n{result.benchmark}: {failure.kind} — {failure.detail}")
+                    print(failure.trace)
+        return 0 if report.ok else 1
+
+    if args.benchmark:
+        from repro.benchmarks_lib.registry import get_benchmark
+
+        specs = [get_benchmark(name) for name in args.benchmark]
+    else:
+        specs = list(ALL_BENCHMARKS.values())
+    results = []
+    for spec in specs:
+        results.append(explore_benchmark(
+            spec, args.discipline, threads=args.threads, ops=args.ops,
+            strategy=args.strategy, budget=args.schedules, seed=args.seed,
+            max_steps=args.max_steps, stop_on_failure=not args.keep_going))
+    ok = all(result.ok for result in results)
+    if args.json:
+        print(json.dumps({"results": [result.to_dict() for result in results],
+                          "ok": ok}, indent=2))
+        return 0 if ok else 1
+    print(render_explore_table(results))
+    for result in results:
+        for failure in result.failures:
+            print(f"\n{result.benchmark}/{result.discipline}: "
+                  f"{failure.kind} — {failure.detail}")
+            if failure.seed is not None:
+                print(f"replay: strategy={failure.strategy} seed={failure.seed} "
+                      f"schedule={list(failure.minimized)}")
+            else:
+                print(f"replay: schedule={list(failure.minimized)}")
+            print(failure.trace)
+    return 0 if ok else 1
 
 
 def _cmd_list(_args) -> int:
@@ -178,6 +290,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compile": _cmd_compile,
         "explain": _cmd_explain,
         "bench": _cmd_bench,
+        "explore": _cmd_explore,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

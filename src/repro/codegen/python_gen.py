@@ -84,6 +84,7 @@ _MODULE_PREAMBLE = [
     "from repro.runtime.explicit_support import GuardWaiters, MonitorMetrics",
     "from repro.runtime.implicit import ImplicitRuntime",
     "from repro.runtime.autosynch import AutoSynchRuntime",
+    "from repro.runtime.coop import CoopAutoSynchRuntime, CoopImplicitRuntime",
     "",
     "",
 ]
@@ -94,22 +95,35 @@ _MODULE_PREAMBLE = [
 # ---------------------------------------------------------------------------
 
 
-def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str] = None) -> str:
-    """Generate an explicit-signal monitor class from a placed monitor."""
+def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str] = None,
+                             coop: bool = False) -> str:
+    """Generate an explicit-signal monitor class from a placed monitor.
+
+    With ``coop=True`` the emitted methods are *generator functions* targeting
+    the cooperative scheduler (:mod:`repro.explore.scheduler`) instead of real
+    ``threading`` primitives: they yield ``("acquire",)`` / ``("wait", cond)``
+    / ``("signal", cond)`` / ``("broadcast", cond)`` / ``("release",)`` at
+    every synchronization point plus ``("commit", label)`` right before each
+    CCR body, so the exploration engine controls every interleaving and the
+    differential oracle can replay the commit order.
+    """
     class_name = class_name or f"{explicit.name}Explicit"
     field_names = _field_names(explicit.fields)
     guard_vars = {guard: name for guard, name in explicit.condition_vars}
 
     lines: List[str] = list(_MODULE_PREAMBLE)
     lines.append(f"class {class_name}:")
-    lines.append(f'    """Explicit-signal monitor for {explicit.name} (generated)."""')
+    flavour = "cooperative explicit-signal" if coop else "explicit-signal"
+    lines.append(f'    """{flavour.capitalize()} monitor for {explicit.name} (generated)."""')
     lines.append("")
     lines.append("    def __init__(self):")
-    lines.append("        self._lock = threading.Lock()")
+    if not coop:
+        lines.append("        self._lock = threading.Lock()")
     lines.append("        self.metrics = MonitorMetrics()")
     lines.extend(_field_init_lines(explicit.fields, field_names, 2))
     for guard, cond_name in explicit.condition_vars:
-        lines.append(f"        self._{cond_name} = threading.Condition(self._lock)")
+        if not coop:
+            lines.append(f"        self._{cond_name} = threading.Condition(self._lock)")
         if _guard_locals(guard, field_names):
             lines.append(f"        self._{cond_name}_waiters = GuardWaiters()")
     lines.append("")
@@ -118,18 +132,26 @@ def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str
         params = ", ".join(python_identifier(p.name) for p in method.params)
         signature = f"    def {method.name}(self{', ' + params if params else ''}):"
         lines.append(signature)
-        lines.append("        with self._lock:")
-        lines.append("            self.metrics.operations += 1")
+        if coop:
+            lines.append("        yield (\"acquire\",)")
+            lines.append("        self.metrics.operations += 1")
+        else:
+            lines.append("        with self._lock:")
+            lines.append("            self.metrics.operations += 1")
         for ccr in method.ccrs:
-            lines.extend(_explicit_ccr_lines(ccr, field_names, guard_vars))
+            lines.extend(_explicit_ccr_lines(ccr, field_names, guard_vars, coop))
+        if coop:
+            lines.append("        yield (\"release\",)")
         lines.append("")
     return "\n".join(lines) + "\n"
 
 
 def _explicit_ccr_lines(ccr: ExplicitCCR, field_names: FrozenSet[str],
-                        guard_vars: Dict[Expr, str]) -> List[str]:
+                        guard_vars: Dict[Expr, str], coop: bool = False) -> List[str]:
     lines: List[str] = []
-    pad = "            "  # inside `with self._lock:`
+    # Coop methods run at method-body level; threaded ones inside `with self._lock:`.
+    pad = "        " if coop else "            "
+    body_indent = 2 if coop else 3
     if not ccr.guard == _TRUE:
         cond_name = guard_vars[ccr.guard]
         guard_py = to_python(ccr.guard, field_names)
@@ -140,32 +162,45 @@ def _explicit_ccr_lines(ccr: ExplicitCCR, field_names: FrozenSet[str],
         lines.append(f"{pad}self.metrics.predicate_evaluations += 1")
         lines.append(f"{pad}while not {guard_py}:")
         lines.append(f"{pad}    self.metrics.waits += 1")
-        lines.append(f"{pad}    self._{cond_name}.wait()")
+        if coop:
+            lines.append(f"{pad}    yield (\"wait\", \"{cond_name}\")")
+        else:
+            lines.append(f"{pad}    self._{cond_name}.wait()")
         lines.append(f"{pad}    self.metrics.wakeups += 1")
         lines.append(f"{pad}    self.metrics.predicate_evaluations += 1")
         lines.append(f"{pad}    if not {guard_py}:")
         lines.append(f"{pad}        self.metrics.spurious_wakeups += 1")
         if locals_in_guard:
             lines.append(f"{pad}self._{cond_name}_waiters.deregister(_snapshot)")
+    if coop:
+        lines.append(f"{pad}yield (\"commit\", \"{ccr.label}\")")
     if not isinstance(ccr.body, Skip):
-        lines.extend(stmt_to_python(ccr.body, field_names, indent=3))
+        lines.extend(stmt_to_python(ccr.body, field_names, indent=body_indent))
     for notification in ccr.notifications:
-        lines.extend(_notification_lines(notification, field_names, guard_vars, pad))
+        lines.extend(_notification_lines(notification, field_names, guard_vars, pad, coop))
     return lines
 
 
 def _notification_lines(notification: Notification, field_names: FrozenSet[str],
-                        guard_vars: Dict[Expr, str], pad: str) -> List[str]:
+                        guard_vars: Dict[Expr, str], pad: str,
+                        coop: bool = False) -> List[str]:
     cond_name = guard_vars.get(notification.predicate)
     if cond_name is None:
         return []
     locals_in_pred = _guard_locals(notification.predicate, field_names)
-    notify = "notify_all" if notification.broadcast else "notify"
     counter = "broadcasts" if notification.broadcast else "signals"
+    if coop:
+        kind = "broadcast" if notification.broadcast else "signal"
+        notify_line = f"yield (\"{kind}\", \"{cond_name}\")"
+        broadcast_line = f"yield (\"broadcast\", \"{cond_name}\")"
+    else:
+        notify = "notify_all" if notification.broadcast else "notify"
+        notify_line = f"self._{cond_name}.{notify}()"
+        broadcast_line = f"self._{cond_name}.notify_all()"
     lines: List[str] = []
     if not notification.conditional:
         lines.append(f"{pad}self.metrics.{counter} += 1")
-        lines.append(f"{pad}self._{cond_name}.{notify}()")
+        lines.append(f"{pad}{notify_line}")
         return lines
     if locals_in_pred:
         # §6: consult the waiter-snapshot table to evaluate a predicate that
@@ -177,13 +212,13 @@ def _notification_lines(notification: Notification, field_names: FrozenSet[str],
             f"{pad}if self._{cond_name}_waiters.any_satisfied({predicate_lambda}, self.metrics):"
         )
         lines.append(f"{pad}    self.metrics.broadcasts += 1")
-        lines.append(f"{pad}    self._{cond_name}.notify_all()")
+        lines.append(f"{pad}    {broadcast_line}")
         return lines
     predicate_py = to_python(notification.predicate, field_names)
     lines.append(f"{pad}self.metrics.predicate_evaluations += 1")
     lines.append(f"{pad}if {predicate_py}:")
     lines.append(f"{pad}    self.metrics.{counter} += 1")
-    lines.append(f"{pad}    self._{cond_name}.{notify}()")
+    lines.append(f"{pad}    {notify_line}")
     return lines
 
 
@@ -206,7 +241,8 @@ def _method_local_names(monitor: Monitor, method) -> List[str]:
     return names
 
 
-def _generate_runtime_class(monitor: Monitor, runtime_class: str, class_name: str) -> str:
+def _generate_runtime_class(monitor: Monitor, runtime_class: str, class_name: str,
+                            coop: bool = False) -> str:
     field_names = _field_names(monitor.fields)
     lines: List[str] = list(_MODULE_PREAMBLE)
     lines.append(f"class {class_name}:")
@@ -236,24 +272,34 @@ def _generate_runtime_class(monitor: Monitor, runtime_class: str, class_name: st
                 lines.append(f"            nonlocal {joined}")
             body_lines = stmt_to_python(ccr.body, field_names, indent=3)
             lines.extend(body_lines)
-            lines.append(f"        self._rt.execute(lambda: {guard_py}, {body_fn})")
+            if coop:
+                lines.append(f"        yield from self._rt.execute("
+                             f"lambda: {guard_py}, {body_fn}, \"{ccr.label}\")")
+            else:
+                lines.append(f"        self._rt.execute(lambda: {guard_py}, {body_fn})")
             emitted = True
         if not emitted:
-            lines.append("        pass")
+            # Keep zero-CCR methods generators in coop mode (the scheduler
+            # treats an immediately-exhausted frame as a completed operation).
+            lines.append("        yield from ()" if coop else "        pass")
         lines.append("")
     return "\n".join(lines) + "\n"
 
 
-def generate_python_implicit(monitor: Monitor, class_name: Optional[str] = None) -> str:
+def generate_python_implicit(monitor: Monitor, class_name: Optional[str] = None,
+                             coop: bool = False) -> str:
     """Generate the broadcast-everything automatic monitor."""
-    return _generate_runtime_class(monitor, "ImplicitRuntime",
-                                   class_name or f"{monitor.name}Implicit")
+    return _generate_runtime_class(monitor,
+                                   "CoopImplicitRuntime" if coop else "ImplicitRuntime",
+                                   class_name or f"{monitor.name}Implicit", coop)
 
 
-def generate_python_autosynch(monitor: Monitor, class_name: Optional[str] = None) -> str:
+def generate_python_autosynch(monitor: Monitor, class_name: Optional[str] = None,
+                              coop: bool = False) -> str:
     """Generate the AutoSynch-style automatic monitor."""
-    return _generate_runtime_class(monitor, "AutoSynchRuntime",
-                                   class_name or f"{monitor.name}AutoSynch")
+    return _generate_runtime_class(monitor,
+                                   "CoopAutoSynchRuntime" if coop else "AutoSynchRuntime",
+                                   class_name or f"{monitor.name}AutoSynch", coop)
 
 
 from repro.logic import TRUE as _TRUE  # noqa: E402  (import placed to avoid cycle noise)

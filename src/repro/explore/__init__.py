@@ -1,0 +1,64 @@
+"""Deterministic schedule exploration for compiled monitors.
+
+The subsystem adversarially schedules monitors compiled in *coop* mode
+(generator-based virtual threads) and differentially checks every execution
+against the implicit-signal reference semantics:
+
+* :mod:`repro.explore.scheduler`  — the cooperative virtual-thread scheduler
+  (every interleaving is a replayable list of recorded choices);
+* :mod:`repro.explore.strategies` — exhaustive DFS extension, seeded random
+  walks, and PCT-style priority schedules;
+* :mod:`repro.explore.oracle`     — the differential oracle (guard
+  violations, lost wakeups, state divergence);
+* :mod:`repro.explore.reduce`     — ddmin counterexample reduction;
+* :mod:`repro.explore.trace`      — readable interleaving rendering;
+* :mod:`repro.explore.engine`     — the campaign driver gluing it together;
+* :mod:`repro.explore.genmon`     — a seeded random-monitor generator that
+  fuzzes the whole compile pipeline end to end.
+"""
+
+from repro.explore.engine import (
+    COOP_DISCIPLINES,
+    STRATEGIES,
+    Counterexample,
+    ExplorationResult,
+    coop_class_for_explicit,
+    coop_monitor_and_class,
+    explore_benchmark,
+    explore_class,
+    explore_explicit,
+    replay_schedule,
+)
+from repro.explore.oracle import OracleVerdict, ReferenceReplay, check_run
+from repro.explore.reduce import ddmin
+from repro.explore.scheduler import (
+    CoopScheduler,
+    Decision,
+    RunResult,
+    SchedulerError,
+    TraceEvent,
+    run_schedule,
+)
+from repro.explore.strategies import (
+    FirstStrategy,
+    PCTStrategy,
+    RandomStrategy,
+    ScheduleStrategy,
+    Strategy,
+    make_strategy,
+)
+from repro.explore.trace import render_trace
+
+__all__ = [
+    "COOP_DISCIPLINES", "STRATEGIES",
+    "Counterexample", "ExplorationResult",
+    "coop_class_for_explicit", "coop_monitor_and_class",
+    "explore_benchmark", "explore_class", "explore_explicit", "replay_schedule",
+    "OracleVerdict", "ReferenceReplay", "check_run",
+    "ddmin",
+    "CoopScheduler", "Decision", "RunResult", "SchedulerError", "TraceEvent",
+    "run_schedule",
+    "FirstStrategy", "PCTStrategy", "RandomStrategy", "ScheduleStrategy",
+    "Strategy", "make_strategy",
+    "render_trace",
+]

@@ -1,0 +1,338 @@
+"""The exploration engine: strategies × scheduler × oracle × reduction.
+
+`explore_class` is the core loop: run a budget of schedules of one coop-mode
+monitor class over fixed per-thread programs, judge every run with the
+differential oracle, and delta-debug the first failing schedule down to a
+minimal, replayable counterexample.  `explore_benchmark` wires that loop to
+the paper's benchmark registry (any of the four disciplines), and
+`explore_explicit` to an arbitrary placed monitor — which is how mutation
+tests inject lost-wakeup bugs and how the fuzzer checks freshly generated
+placements.
+
+Three strategies are supported (see :mod:`repro.explore.strategies`):
+
+* ``dfs`` — exhaustive depth-first enumeration of all scheduling decisions
+  with shared-state hashing: a schedule prefix that re-enters an
+  already-visited global state is pruned.  Feasible for small
+  configurations; sets ``exhausted=True`` when the whole space was covered.
+* ``random`` — seeded uniform random walks (seed *i* of a budget-N run uses
+  ``seed + i``, so any failing walk is reproducible in isolation).
+* ``pct`` — PCT-style priority schedules, better at deep ordering bugs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.python_gen import (
+    generate_python_autosynch,
+    generate_python_explicit,
+    generate_python_implicit,
+    materialize_class,
+)
+from repro.explore.oracle import OracleVerdict, check_run
+from repro.explore.reduce import ddmin
+from repro.explore.scheduler import RunResult, run_schedule
+from repro.explore.strategies import FirstStrategy, ScheduleStrategy, make_strategy
+from repro.explore.trace import render_trace
+from repro.lang.ast import Monitor
+from repro.placement.target import ExplicitMonitor
+
+#: The disciplines the engine can adversarially schedule.
+COOP_DISCIPLINES: Tuple[str, ...] = ("expresso", "explicit", "autosynch", "implicit")
+
+#: Exploration strategies accepted by the engine/CLI.
+STRATEGIES: Tuple[str, ...] = ("dfs", "random", "pct")
+
+_COOP_CLASS_CACHE: Dict[Tuple, type] = {}
+
+
+# ---------------------------------------------------------------------------
+# Coop-class construction
+# ---------------------------------------------------------------------------
+
+
+def coop_class_for_explicit(explicit: ExplicitMonitor,
+                            class_name: str = "CoopMonitor") -> type:
+    """Materialize the scheduler-targeting class for a placed monitor."""
+    source = generate_python_explicit(explicit, class_name=class_name, coop=True)
+    return materialize_class(source, class_name)
+
+
+def coop_monitor_and_class(spec, discipline: str,
+                           pipeline=None) -> Tuple[Monitor, type]:
+    """(reference monitor AST, coop class) for one benchmark/discipline pair."""
+    from repro.harness.saturation import expresso_result
+    from repro.placement.pipeline import ExpressoPipeline
+
+    pipeline = pipeline if pipeline is not None else ExpressoPipeline()
+    key = (spec.name, discipline, pipeline.config_key())
+    if discipline == "expresso":
+        result = expresso_result(spec, pipeline)
+        reference = result.monitor
+        if key not in _COOP_CLASS_CACHE:
+            _COOP_CLASS_CACHE[key] = coop_class_for_explicit(result.explicit)
+    elif discipline == "explicit":
+        reference = spec.monitor()
+        if key not in _COOP_CLASS_CACHE:
+            _COOP_CLASS_CACHE[key] = coop_class_for_explicit(spec.handwritten_explicit())
+    elif discipline == "autosynch":
+        reference = spec.monitor()
+        if key not in _COOP_CLASS_CACHE:
+            source = generate_python_autosynch(reference, "CoopMonitor", coop=True)
+            _COOP_CLASS_CACHE[key] = materialize_class(source, "CoopMonitor")
+    elif discipline == "implicit":
+        reference = spec.monitor()
+        if key not in _COOP_CLASS_CACHE:
+            source = generate_python_implicit(reference, "CoopMonitor", coop=True)
+            _COOP_CLASS_CACHE[key] = materialize_class(source, "CoopMonitor")
+    else:
+        raise ValueError(f"unknown discipline {discipline!r}; "
+                         f"expected one of {COOP_DISCIPLINES}")
+    return reference, _COOP_CLASS_CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Counterexample:
+    """A failing schedule, minimized and rendered for replay."""
+
+    kind: str                      # oracle failure kind
+    detail: str
+    schedule: Tuple[int, ...]      # the original failing choice list
+    minimized: Tuple[int, ...]     # the delta-debugged choice list
+    trace: str                     # readable interleaving of the minimized run
+    strategy: str
+    seed: Optional[int]            # seed that found it (sampling strategies)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "schedule": list(self.schedule),
+            "minimized": list(self.minimized),
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "trace": self.trace,
+        }
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate outcome of one exploration campaign."""
+
+    benchmark: str
+    discipline: str
+    strategy: str
+    seed: int
+    schedules_run: int = 0
+    completed: int = 0
+    stalls: int = 0
+    pruned: int = 0
+    distinct_states: int = 0
+    exhausted: bool = False
+    elapsed_seconds: float = 0.0
+    failures: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def schedules_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.schedules_run / self.elapsed_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "discipline": self.discipline,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "schedules_run": self.schedules_run,
+            "completed": self.completed,
+            "stalls": self.stalls,
+            "pruned": self.pruned,
+            "distinct_states": self.distinct_states,
+            "exhausted": self.exhausted,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "schedules_per_second": round(self.schedules_per_second, 2),
+            "ok": self.ok,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Core loops
+# ---------------------------------------------------------------------------
+
+
+def _run_once(monitor: Monitor, coop_class: type, programs, strategy,
+              max_steps: int, fingerprints: bool = False):
+    instance = coop_class()
+    result = run_schedule(instance, programs, strategy, max_steps,
+                          fingerprints=fingerprints)
+    verdict = check_run(monitor, programs, instance, result)
+    return result, verdict
+
+
+def replay_schedule(monitor: Monitor, coop_class: type, programs,
+                    schedule: Sequence[int],
+                    max_steps: int = 20_000) -> Tuple[RunResult, OracleVerdict]:
+    """Replay a recorded/minimized schedule deterministically."""
+    return _run_once(monitor, coop_class, programs,
+                     ScheduleStrategy(schedule, FirstStrategy()), max_steps)
+
+
+def _minimize(monitor: Monitor, coop_class: type, programs,
+              schedule: Tuple[int, ...], kind: str,
+              max_steps: int) -> Tuple[Tuple[int, ...], RunResult, OracleVerdict]:
+    """ddmin the schedule, then rerun the minimum for its trace."""
+
+    def reproduces(candidate: Tuple[int, ...]) -> bool:
+        _result, verdict = replay_schedule(monitor, coop_class, programs,
+                                           candidate, max_steps)
+        return verdict.is_failure and verdict.kind == kind
+
+    minimized = ddmin(schedule, reproduces)
+    result, verdict = replay_schedule(monitor, coop_class, programs,
+                                      minimized, max_steps)
+    return minimized, result, verdict
+
+
+def _record_failure(outcome: ExplorationResult, monitor, coop_class, programs,
+                    run: RunResult, verdict: OracleVerdict, strategy_name: str,
+                    seed: Optional[int], max_steps: int, minimize: bool) -> None:
+    schedule = run.choices
+    if minimize:
+        minimized, min_run, min_verdict = _minimize(
+            monitor, coop_class, programs, schedule, verdict.kind, max_steps)
+        trace = render_trace(min_run, programs, min_verdict)
+        detail = min_verdict.detail or verdict.detail
+    else:
+        minimized = schedule
+        trace = render_trace(run, programs, verdict)
+        detail = verdict.detail
+    outcome.failures.append(Counterexample(
+        kind=verdict.kind or "failure", detail=detail, schedule=schedule,
+        minimized=minimized, trace=trace, strategy=strategy_name, seed=seed))
+
+
+def _tally(outcome: ExplorationResult, run: RunResult,
+           verdict: OracleVerdict) -> None:
+    outcome.schedules_run += 1
+    if run.outcome == "completed":
+        outcome.completed += 1
+    elif verdict.ok and verdict.kind == "stall":
+        outcome.stalls += 1
+
+
+def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
+                      budget: int, seed: int, max_steps: int,
+                      stop_on_failure: bool, minimize: bool) -> None:
+    # PCT change points must land inside the run: roughly one grant decision
+    # per operation plus slack for waits/relays.
+    expected_decisions = max(8, 2 * sum(len(program) for program in programs))
+    for iteration in range(budget):
+        walk_seed = seed + iteration
+        strategy = make_strategy(outcome.strategy, walk_seed,
+                                 expected_decisions=expected_decisions)
+        run, verdict = _run_once(monitor, coop_class, programs, strategy, max_steps)
+        _tally(outcome, run, verdict)
+        if verdict.is_failure:
+            _record_failure(outcome, monitor, coop_class, programs, run, verdict,
+                            outcome.strategy, walk_seed, max_steps, minimize)
+            if stop_on_failure:
+                return
+
+
+def _explore_dfs(monitor, coop_class, programs, outcome: ExplorationResult,
+                 budget: int, max_steps: int, stop_on_failure: bool,
+                 minimize: bool) -> None:
+    seen: set = set()
+    stack: List[Tuple[int, ...]] = [()]
+    while stack and outcome.schedules_run < budget:
+        prefix = stack.pop()
+        strategy = ScheduleStrategy(prefix, FirstStrategy())
+        instance = coop_class()
+        run = run_schedule(instance, programs, strategy, max_steps,
+                           fingerprints=True)
+        verdict = check_run(monitor, programs, instance, run)
+        _tally(outcome, run, verdict)
+        # Decisions at positions < len(prefix) replay ancestor choices whose
+        # alternatives the ancestors already pushed; fresh positions start at
+        # len(prefix).  A fresh position whose pre-decision state was already
+        # visited roots a subtree explored elsewhere: stop expanding there.
+        # (Expansion happens before the failure check so that a failing first
+        # run still records its states and pending alternatives — `exhausted`
+        # must not claim full coverage after an early stop.)
+        limit = len(run.decisions)
+        for position in range(len(prefix), len(run.decisions)):
+            fingerprint = run.decisions[position].fingerprint
+            if fingerprint is None:
+                continue
+            if fingerprint in seen:
+                limit = position
+                outcome.pruned += 1
+                break
+            seen.add(fingerprint)
+        choices = run.choices
+        for position in range(limit - 1, len(prefix) - 1, -1):
+            decision = run.decisions[position]
+            for alternative in range(len(decision.candidates)):
+                if alternative != decision.chosen:
+                    stack.append(choices[:position] + (alternative,))
+        if verdict.is_failure:
+            _record_failure(outcome, monitor, coop_class, programs, run, verdict,
+                            "dfs", None, max_steps, minimize)
+            if stop_on_failure:
+                break
+    outcome.distinct_states = len(seen)
+    outcome.exhausted = not stack
+
+
+def explore_class(monitor: Monitor, coop_class: type, programs,
+                  strategy: str = "random", budget: int = 200, seed: int = 0,
+                  max_steps: int = 20_000, stop_on_failure: bool = True,
+                  minimize: bool = True, benchmark: str = "?",
+                  discipline: str = "?") -> ExplorationResult:
+    """Explore one coop monitor class over fixed per-thread programs."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    outcome = ExplorationResult(benchmark=benchmark, discipline=discipline,
+                                strategy=strategy, seed=seed)
+    start = time.perf_counter()
+    if strategy == "dfs":
+        _explore_dfs(monitor, coop_class, programs, outcome, budget, max_steps,
+                     stop_on_failure, minimize)
+    else:
+        _explore_sampling(monitor, coop_class, programs, outcome, budget, seed,
+                          max_steps, stop_on_failure, minimize)
+    outcome.elapsed_seconds = time.perf_counter() - start
+    return outcome
+
+
+def explore_explicit(explicit: ExplicitMonitor, reference: Monitor, programs,
+                     **kwargs) -> ExplorationResult:
+    """Explore an arbitrary placed monitor (mutants, fuzzer output, ...)."""
+    coop_class = coop_class_for_explicit(explicit)
+    kwargs.setdefault("benchmark", reference.name)
+    kwargs.setdefault("discipline", "explicit")
+    return explore_class(reference, coop_class, programs, **kwargs)
+
+
+def explore_benchmark(spec, discipline: str = "expresso", threads: int = 3,
+                      ops: int = 3, pipeline=None, **kwargs) -> ExplorationResult:
+    """Explore one registry benchmark under a discipline's coop compilation."""
+    reference, coop_class = coop_monitor_and_class(spec, discipline, pipeline)
+    programs = spec.workload(threads, ops)
+    kwargs.setdefault("benchmark", spec.name)
+    kwargs.setdefault("discipline", discipline)
+    return explore_class(reference, coop_class, programs, **kwargs)

@@ -1,0 +1,73 @@
+"""Counterexample reduction: delta-debugging failing schedules.
+
+A failing schedule is a list of choice indices.  Any sub-list is still a
+valid schedule (the replay strategy clamps out-of-range indices and falls
+back to first-choice once the list runs out), so the classic ddmin algorithm
+(Zeller & Hildebrandt, TSE'02) applies directly: find a 1-minimal
+subsequence that still reproduces the failure.  Minimal schedules turn a
+10⁴-step random walk into a handful of decisive scheduling choices, which the
+trace renderer then prints as a short readable interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+
+def ddmin(failing: Sequence[int],
+          reproduces: Callable[[Tuple[int, ...]], bool],
+          max_probes: int = 2000) -> Tuple[int, ...]:
+    """Minimize *failing* to a 1-minimal subsequence under *reproduces*.
+
+    ``reproduces(schedule)`` must return True when the candidate schedule
+    still triggers the original failure.  The input is assumed to reproduce;
+    if it does not, it is returned unchanged.  *max_probes* bounds the number
+    of candidate executions (reduction is best-effort under the bound).
+    """
+    schedule: List[int] = list(failing)
+    if not reproduces(tuple(schedule)):
+        return tuple(schedule)
+    probes = 0
+    granularity = 2
+    while len(schedule) >= 2:
+        chunk = max(len(schedule) // granularity, 1)
+        subsets = [schedule[start:start + chunk]
+                   for start in range(0, len(schedule), chunk)]
+        reduced = False
+        # Try each subset alone, then each complement.
+        for index in range(len(subsets)):
+            if probes >= max_probes:
+                return tuple(schedule)
+            candidate = subsets[index]
+            probes += 1
+            if len(candidate) < len(schedule) and reproduces(tuple(candidate)):
+                schedule = list(candidate)
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for index in range(len(subsets)):
+                if probes >= max_probes:
+                    return tuple(schedule)
+                complement = [item for j, subset in enumerate(subsets)
+                              for item in subset if j != index]
+                probes += 1
+                if len(complement) < len(schedule) and reproduces(tuple(complement)):
+                    schedule = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(schedule):
+                break
+            granularity = min(granularity * 2, len(schedule))
+    # Final single-element polishing pass (1-minimality for small lists).
+    index = 0
+    while index < len(schedule) and probes < max_probes:
+        candidate = schedule[:index] + schedule[index + 1:]
+        probes += 1
+        if reproduces(tuple(candidate)):
+            schedule = candidate
+        else:
+            index += 1
+    return tuple(schedule)

@@ -1,0 +1,313 @@
+"""The cooperative virtual-thread scheduler.
+
+Monitor operations compiled in *coop* mode (see
+:func:`repro.codegen.python_gen.generate_python_explicit` with ``coop=True``)
+are generator functions that yield scheduler operations at every
+synchronization point: ``acquire``, ``wait``, ``signal``, ``broadcast``,
+``commit`` and ``release``.  :class:`CoopScheduler` drives one virtual thread
+per workload entry and resolves the only two sources of scheduling
+nondeterminism a monitor program has:
+
+1. **grant** — when the monitor lock is free, which contending thread enters
+   next (fresh arrivals and signalled waiters compete alike);
+2. **signal** — when a ``signal`` finds several threads sleeping on the same
+   condition, which one is woken.
+
+Every such choice is delegated to a :mod:`strategy <repro.explore.strategies>`
+and recorded, so an execution is fully described by its choice list — the
+*schedule* — and can be replayed bit-for-bit from it.  Deadlocks are
+*detected* (lock free, nobody runnable, someone asleep) rather than
+experienced, which is what lets the engine probe lost-wakeup bugs without
+ever hanging the test process.
+
+For exhaustive exploration the scheduler can fingerprint the global state
+(shared monitor fields plus, per thread, the generator frame's instruction
+pointer and local variables) at every grant decision; the DFS driver uses the
+fingerprints to prune schedules that re-enter an already-explored state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.strategies import Strategy
+
+#: One thread's program: a list of ``(method name, positional args)`` pairs.
+ThreadProgram = Sequence[Tuple[str, tuple]]
+
+
+class SchedulerError(RuntimeError):
+    """A generated coop monitor violated the scheduler protocol."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One rendered step of a virtual execution."""
+
+    kind: str                      # grant | commit | wait | signal | broadcast | release
+    thread: int
+    label: Optional[str] = None    # CCR label (commit) or method name (grant)
+    key: Optional[str] = None      # condition key (wait/signal/broadcast)
+    woken: Tuple[int, ...] = ()    # threads woken by a signal/broadcast
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded scheduling choice (only choices with >1 candidate)."""
+
+    kind: str                      # 'grant' | 'signal'
+    candidates: Tuple[int, ...]    # thread ids, sorted
+    chosen: int                    # index into candidates
+    fingerprint: Optional[tuple] = None   # pre-decision state (grant only)
+
+
+@dataclass
+class RunResult:
+    """Everything one scheduled execution produced."""
+
+    outcome: str                               # completed | deadlock | step-limit | error
+    commits: List[Tuple[int, str]] = field(default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
+    decisions: List[Decision] = field(default_factory=list)
+    waiting: Dict[int, str] = field(default_factory=dict)  # tid -> condition key
+    steps: int = 0
+    error: Optional[str] = None
+
+    @property
+    def choices(self) -> Tuple[int, ...]:
+        """The schedule: the recorded choice list that replays this run."""
+        return tuple(decision.chosen for decision in self.decisions)
+
+
+class _VirtualThread:
+    __slots__ = ("tid", "program", "op_index", "frame", "status", "wait_key")
+
+    def __init__(self, tid: int, program: ThreadProgram):
+        self.tid = tid
+        self.program = list(program)
+        self.op_index = 0
+        self.frame = None
+        self.status = "done"       # acquiring | waiting | done
+        self.wait_key: Optional[str] = None
+
+
+# -- state fingerprinting ----------------------------------------------------
+
+
+def _freeze(value):
+    """A hashable snapshot of a frame-local / field value (opaque -> None)."""
+    if isinstance(value, (int, bool, str, type(None))):
+        return value
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return None
+
+
+def _frame_fingerprint(generator) -> tuple:
+    """Fingerprint a (possibly ``yield from``-nested) suspended generator.
+
+    The instruction pointer (``f_lasti``) pins *where* the coroutine is
+    suspended; the frozen locals pin the values of method parameters and
+    CCR-local variables.  Opaque locals (closures, the monitor itself) are
+    dropped — their observable content is either shared state (fingerprinted
+    separately) or derived from the frozen locals.
+    """
+    parts = []
+    while generator is not None:
+        frame = getattr(generator, "gi_frame", None)
+        if frame is None:
+            parts.append(("exhausted",))
+            break
+        locals_fp = tuple(sorted(
+            (name, _freeze(value))
+            for name, value in frame.f_locals.items()
+            if name != "self" and isinstance(value, (int, bool, str, type(None),
+                                                     dict, list, tuple))
+        ))
+        parts.append((frame.f_lasti, locals_fp))
+        generator = getattr(generator, "gi_yieldfrom", None)
+    return tuple(parts)
+
+
+class CoopScheduler:
+    """Run one coop monitor instance over per-thread programs under a strategy."""
+
+    def __init__(self, instance, programs: Sequence[ThreadProgram],
+                 strategy: Strategy, max_steps: int = 20_000,
+                 fingerprints: bool = False):
+        self.instance = instance
+        self.strategy = strategy
+        self.max_steps = max_steps
+        self.fingerprints = fingerprints
+        self.threads = [_VirtualThread(tid, program)
+                        for tid, program in enumerate(programs)]
+        self.owner: Optional[_VirtualThread] = None
+        self.result = RunResult(outcome="error")
+
+    # -- public entry point ---------------------------------------------------
+
+    def run(self) -> RunResult:
+        result = self.result
+        try:
+            for thread in self.threads:
+                self._advance_to_acquire(thread)
+            self._loop()
+        except SchedulerError:
+            raise
+        except Exception as exc:  # a generated-code bug is a finding, not a crash
+            result.outcome = "error"
+            result.error = f"{type(exc).__name__}: {exc}"
+        result.waiting = {thread.tid: thread.wait_key
+                          for thread in self.threads if thread.status == "waiting"}
+        return result
+
+    # -- main loop ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        result = self.result
+        while True:
+            if result.steps >= self.max_steps:
+                result.outcome = "step-limit"
+                return
+            contenders = [t for t in self.threads if t.status == "acquiring"]
+            if not contenders:
+                if all(t.status == "done" for t in self.threads):
+                    result.outcome = "completed"
+                else:
+                    result.outcome = "deadlock"
+                return
+            # Fingerprinting walks every generator frame — only pay for it
+            # when the grant actually branches (single contenders record no
+            # decision and need no pre-decision state).
+            fingerprint = (self._fingerprint()
+                           if self.fingerprints and len(contenders) > 1 else None)
+            thread = contenders[self._choose(
+                "grant", tuple(t.tid for t in contenders), fingerprint)]
+            self.owner = thread
+            method_name = thread.program[thread.op_index][0]
+            result.events.append(TraceEvent("grant", thread.tid, label=method_name))
+            self._run_holder(thread)
+
+    def _run_holder(self, thread: _VirtualThread) -> None:
+        """Advance *thread* (which holds the lock) until it waits or finishes."""
+        result = self.result
+        while True:
+            result.steps += 1
+            try:
+                op = next(thread.frame)
+            except StopIteration:
+                if self.owner is thread:
+                    raise SchedulerError(
+                        f"thread {thread.tid} finished an operation while still "
+                        f"holding the monitor lock (missing release yield)")
+                thread.op_index += 1
+                self._advance_to_acquire(thread)
+                return
+            kind = op[0]
+            if kind == "wait":
+                key = op[1]
+                self.owner = None
+                thread.status = "waiting"
+                thread.wait_key = key
+                result.events.append(TraceEvent("wait", thread.tid, key=key))
+                return
+            if kind == "commit":
+                result.commits.append((thread.tid, op[1]))
+                result.events.append(TraceEvent("commit", thread.tid, label=op[1]))
+            elif kind == "signal":
+                self._wake(thread, op[1], broadcast=False)
+            elif kind == "broadcast":
+                self._wake(thread, op[1], broadcast=True)
+            elif kind == "release":
+                if self.owner is not thread:
+                    raise SchedulerError(
+                        f"thread {thread.tid} released a lock it does not hold")
+                self.owner = None
+                result.events.append(TraceEvent("release", thread.tid))
+            elif kind == "acquire":
+                # A mid-method re-acquire: contend again (not emitted by the
+                # current generators, but the protocol allows it).
+                if self.owner is thread:
+                    continue
+                thread.status = "acquiring"
+                return
+            else:
+                raise SchedulerError(f"unknown scheduler op {op!r}")
+
+    # -- helpers --------------------------------------------------------------
+
+    def _choose(self, kind: str, candidates: Tuple[int, ...],
+                fingerprint: Optional[tuple]) -> int:
+        """Delegate a choice to the strategy, recording it when it branches."""
+        if len(candidates) == 1:
+            return 0
+        index = self.strategy.choose(kind, candidates)
+        if not 0 <= index < len(candidates):
+            raise SchedulerError(
+                f"strategy chose index {index} among {len(candidates)} candidates")
+        self.result.decisions.append(
+            Decision(kind, candidates, index, fingerprint))
+        return index
+
+    def _wake(self, waker: _VirtualThread, key: str, broadcast: bool) -> None:
+        sleepers = sorted(
+            (t for t in self.threads if t.status == "waiting" and t.wait_key == key),
+            key=lambda t: t.tid)
+        kind = "broadcast" if broadcast else "signal"
+        if not sleepers:
+            self.result.events.append(TraceEvent(kind, waker.tid, key=key))
+            return
+        if broadcast:
+            woken = sleepers
+        else:
+            chosen = self._choose("signal", tuple(t.tid for t in sleepers), None)
+            woken = [sleepers[chosen]]
+        for sleeper in woken:
+            sleeper.status = "acquiring"
+            sleeper.wait_key = None
+        self.result.events.append(
+            TraceEvent(kind, waker.tid, key=key,
+                       woken=tuple(t.tid for t in woken)))
+
+    def _advance_to_acquire(self, thread: _VirtualThread) -> None:
+        """Start *thread*'s next operation, pausing at its first acquire."""
+        while thread.op_index < len(thread.program):
+            method_name, args = thread.program[thread.op_index]
+            generator = getattr(self.instance, method_name)(*args)
+            try:
+                op = next(generator)
+            except StopIteration:
+                thread.op_index += 1
+                continue
+            if op != ("acquire",):
+                raise SchedulerError(
+                    f"{method_name} yielded {op!r} before acquiring the lock")
+            thread.frame = generator
+            thread.status = "acquiring"
+            return
+        thread.frame = None
+        thread.status = "done"
+
+    def _fingerprint(self) -> tuple:
+        """A hashable snapshot of the global state at a grant point."""
+        shared = tuple(sorted(
+            (name, _freeze(value))
+            for name, value in vars(self.instance).items()
+            if not name.startswith("_") and name != "metrics"
+        ))
+        threads = tuple(
+            (t.status, t.wait_key, t.op_index,
+             _frame_fingerprint(t.frame) if t.frame is not None else None)
+            for t in self.threads
+        )
+        return (shared, threads)
+
+
+def run_schedule(instance, programs: Sequence[ThreadProgram], strategy: Strategy,
+                 max_steps: int = 20_000, fingerprints: bool = False) -> RunResult:
+    """Convenience wrapper: build a scheduler and run it to completion."""
+    return CoopScheduler(instance, programs, strategy, max_steps,
+                         fingerprints=fingerprints).run()

@@ -1,0 +1,55 @@
+"""Readable rendering of a scheduled execution (counterexample traces)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.explore.oracle import OracleVerdict
+from repro.explore.scheduler import RunResult, TraceEvent
+
+
+def _format_args(args: tuple) -> str:
+    return "(" + ", ".join(repr(arg) for arg in args) + ")"
+
+
+def _format_event(event: TraceEvent,
+                  programs: Sequence[Sequence[Tuple[str, tuple]]]) -> str:
+    tid = event.thread
+    if event.kind == "grant":
+        return f"T{tid} enters the monitor for {event.label}()"
+    if event.kind == "commit":
+        return f"T{tid} commits {event.label}"
+    if event.kind == "wait":
+        return f"T{tid} blocks on condition '{event.key}'"
+    if event.kind in ("signal", "broadcast"):
+        if event.woken:
+            woken = ", ".join(f"T{w}" for w in event.woken)
+            return f"T{tid} {event.kind}s '{event.key}' -> wakes {woken}"
+        return f"T{tid} {event.kind}s '{event.key}' -> no waiters"
+    if event.kind == "release":
+        return f"T{tid} leaves the monitor"
+    return f"T{tid} {event.kind}"
+
+
+def render_trace(result: RunResult,
+                 programs: Sequence[Sequence[Tuple[str, tuple]]],
+                 verdict: Optional[OracleVerdict] = None) -> str:
+    """Render one execution as a numbered, human-readable interleaving."""
+    lines = []
+    for tid, program in enumerate(programs):
+        ops = ", ".join(f"{name}{_format_args(args)}" for name, args in program)
+        lines.append(f"T{tid}: {ops or '(idle)'}")
+    lines.append("-" * 48)
+    for step, event in enumerate(result.events, start=1):
+        lines.append(f"{step:4d}  {_format_event(event, programs)}")
+    lines.append("-" * 48)
+    if result.outcome == "deadlock":
+        waiting = ", ".join(f"T{tid} on '{key}'"
+                            for tid, key in sorted(result.waiting.items()))
+        lines.append(f"outcome: DEADLOCK ({waiting})")
+    else:
+        lines.append(f"outcome: {result.outcome.upper()}")
+    if verdict is not None and verdict.kind is not None:
+        status = "ok" if verdict.ok else "FAILURE"
+        lines.append(f"oracle:  {verdict.kind} [{status}] {verdict.detail}".rstrip())
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from repro.harness.compile_time import CompileTimeRow, measure_compile_times
 from repro.harness.report import (
     FigureSeries,
     figure_report,
+    render_explore_table,
     render_figure_table,
     render_table1,
     speedup_summary,
@@ -28,6 +29,6 @@ __all__ = [
     "DISCIPLINES", "SaturationMeasurement", "build_monitor_class",
     "run_saturation", "sweep_thread_ladder",
     "CompileTimeRow", "measure_compile_times",
-    "FigureSeries", "figure_report", "render_figure_table", "render_table1",
-    "speedup_summary",
+    "FigureSeries", "figure_report", "render_explore_table",
+    "render_figure_table", "render_table1", "speedup_summary",
 ]

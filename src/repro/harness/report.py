@@ -47,12 +47,28 @@ class FigureSeries:
             return 1.0
         return statistics.geometric_mean(ratios)
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view (``expresso bench --json``)."""
+        return {
+            "benchmark": self.benchmark,
+            "figure": self.figure,
+            "thread_counts": list(self.thread_counts),
+            "ms_per_op": {discipline: {str(threads): value
+                                       for threads, value in series.items()}
+                          for discipline, series in self.ms_per_op.items()},
+            "metrics": {discipline: {str(threads): dict(counters)
+                                     for threads, counters in series.items()}
+                        for discipline, series in self.metrics.items()},
+        }
+
 
 def figure_report(spec: BenchmarkSpec, disciplines: Sequence[str] = DISCIPLINES,
                   thread_ladder: Optional[Sequence[int]] = None,
-                  ops_per_thread: Optional[int] = None) -> FigureSeries:
+                  ops_per_thread: Optional[int] = None,
+                  seed: Optional[int] = None) -> FigureSeries:
     """Measure one benchmark across its thread ladder and assemble its series."""
-    measurements = sweep_thread_ladder(spec, disciplines, thread_ladder, ops_per_thread)
+    measurements = sweep_thread_ladder(spec, disciplines, thread_ladder, ops_per_thread,
+                                       seed=seed)
     ladder = tuple(thread_ladder) if thread_ladder is not None else spec.thread_ladder
     ms_per_op: Dict[str, Dict[int, float]] = {d: {} for d in disciplines}
     metrics: Dict[str, Dict[int, Dict[str, int]]] = {d: {} for d in disciplines}
@@ -110,6 +126,42 @@ def render_table1(rows: Sequence[CompileTimeRow]) -> str:
         + f"{total_hits}/{total_queries}".ljust(14)
         + hit_rate.strip()
     )
+    return "\n".join(lines)
+
+
+def render_explore_table(results: Sequence) -> str:
+    """Render exploration campaign summaries as a text table.
+
+    Accepts :class:`repro.explore.engine.ExplorationResult` rows (typed
+    loosely to keep the harness importable without the explore subsystem).
+    """
+    header = "Schedule exploration summary"
+    lines = [header, "-" * len(header)]
+    lines.append("Benchmark".ljust(30) + "Discipline".ljust(12) + "Strategy".ljust(10)
+                 + "Schedules".ljust(11) + "Sched/s".ljust(10)
+                 + "Completed".ljust(11) + "Stalls".ljust(8) + "Verdict")
+    failures = 0
+    for result in results:
+        verdict = "ok"
+        if result.failures:
+            failures += len(result.failures)
+            verdict = ", ".join(sorted({f.kind for f in result.failures}))
+        if result.exhausted:
+            verdict += " (exhausted)"
+        lines.append(
+            result.benchmark.ljust(30)
+            + result.discipline.ljust(12)
+            + result.strategy.ljust(10)
+            + str(result.schedules_run).ljust(11)
+            + f"{result.schedules_per_second:.0f}".ljust(10)
+            + str(result.completed).ljust(11)
+            + str(result.stalls).ljust(8)
+            + verdict
+        )
+    lines.append("-" * len(header))
+    total = sum(result.schedules_run for result in results)
+    lines.append(f"TOTAL: {total} schedules, "
+                 f"{failures} divergence{'s' if failures != 1 else ''}")
     return "\n".join(lines)
 
 

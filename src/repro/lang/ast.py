@@ -230,6 +230,13 @@ class Monitor:
                 result.append((method, ccr))
         return tuple(result)
 
+    def ccr_by_label(self, label: str) -> Tuple[MethodDecl, CCR]:
+        """The CCR carrying the parser-assigned *label*, with its method."""
+        for method, ccr in self.ccrs():
+            if ccr.label == label:
+                return method, ccr
+        raise KeyError(label)
+
     def guards(self) -> Tuple[Expr, ...]:
         """The distinct non-trivial guard predicates of the monitor (Guards(M))."""
         seen: List[Expr] = []

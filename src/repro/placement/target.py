@@ -101,3 +101,48 @@ class ExplicitMonitor:
     def total_notifications(self) -> int:
         """Total number of placed notifications (a code-quality metric)."""
         return sum(len(ccr.notifications) for method in self.methods for ccr in method.ccrs)
+
+    def notification_sites(self) -> Tuple[Tuple[str, int], ...]:
+        """Every placed notification as a (ccr_label, index) address."""
+        sites = []
+        for method in self.methods:
+            for ccr in method.ccrs:
+                for index in range(len(ccr.notifications)):
+                    sites.append((ccr.label, index))
+        return tuple(sites)
+
+    def without_notification(self, ccr_label: str, index: int) -> "ExplicitMonitor":
+        """A copy with one placed notification deleted (mutation testing).
+
+        The exploration engine uses these mutants as injected lost-wakeup
+        bugs: a correct placement minus one signal must be caught by the
+        differential oracle, which validates the whole detection pipeline.
+        """
+        methods = []
+        found = False
+        for method in self.methods:
+            ccrs = []
+            for ccr in method.ccrs:
+                if ccr.label == ccr_label:
+                    if not 0 <= index < len(ccr.notifications):
+                        raise IndexError(
+                            f"{ccr_label} has {len(ccr.notifications)} notifications, "
+                            f"cannot drop #{index}")
+                    notifications = (ccr.notifications[:index]
+                                     + ccr.notifications[index + 1:])
+                    ccrs.append(ExplicitCCR(ccr.guard, ccr.body, ccr.label,
+                                            notifications))
+                    found = True
+                else:
+                    ccrs.append(ccr)
+            methods.append(ExplicitMethod(method.name, method.params, tuple(ccrs)))
+        if not found:
+            raise KeyError(ccr_label)
+        return ExplicitMonitor(
+            name=self.name,
+            fields=self.fields,
+            methods=tuple(methods),
+            condition_vars=self.condition_vars,
+            invariant=self.invariant,
+            constants=self.constants,
+        )

@@ -17,6 +17,10 @@ logic (paper §7):
 
 from repro.runtime.explicit_support import GuardWaiters, MonitorMetrics
 from repro.runtime.autosynch import AutoSynchRuntime
+from repro.runtime.coop import CoopAutoSynchRuntime, CoopImplicitRuntime
 from repro.runtime.implicit import ImplicitRuntime
 
-__all__ = ["GuardWaiters", "MonitorMetrics", "AutoSynchRuntime", "ImplicitRuntime"]
+__all__ = [
+    "GuardWaiters", "MonitorMetrics", "AutoSynchRuntime", "ImplicitRuntime",
+    "CoopAutoSynchRuntime", "CoopImplicitRuntime",
+]

@@ -14,7 +14,7 @@ broadcasts); the saturation harness reads it after each run.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 from typing import Callable, Dict, List, Optional
 
 
@@ -30,20 +30,21 @@ class MonitorMetrics:
     broadcasts: int = 0
     predicate_evaluations: int = 0
 
+    # snapshot/reset are derived from the dataclass fields so that adding a
+    # counter can never desynchronize them.
+
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "operations": self.operations,
-            "waits": self.waits,
-            "wakeups": self.wakeups,
-            "spurious_wakeups": self.spurious_wakeups,
-            "signals": self.signals,
-            "broadcasts": self.broadcasts,
-            "predicate_evaluations": self.predicate_evaluations,
-        }
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     def reset(self) -> None:
-        for name in self.snapshot():
-            setattr(self, name, 0)
+        for spec in fields(self):
+            if spec.default is not MISSING:
+                value = spec.default
+            elif spec.default_factory is not MISSING:
+                value = spec.default_factory()
+            else:
+                value = 0
+            setattr(self, spec.name, value)
 
 
 class GuardWaiters:
