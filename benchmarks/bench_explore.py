@@ -1,56 +1,233 @@
-"""Exploration-engine throughput: schedules per second.
+"""Exploration-engine throughput: schedules per second, reduction ratios.
 
-The exploration engine's practical value scales with how many schedules it
-can push through per second (a lost-wakeup needle is found by volume).  Each
-pytest-benchmark case measures one (benchmark, strategy) cell: the wall
-clock of a fixed-budget campaign over the Expresso-compiled coop monitor,
-with compilation and class materialization excluded from the measured
-region.  DFS additionally reports how many distinct global states the
-shared-state hashing visited.
+Two entry points:
 
-Run ``pytest benchmarks/bench_explore.py --benchmark-only``; environment
-knobs: ``REPRO_EXPLORE_BUDGET`` (schedules per campaign, default 200).
+* **pytest-benchmark cells** (``pytest benchmarks/bench_explore.py
+  --benchmark-only``): one cell per (benchmark, strategy) pair, including
+  both DFS variants (``dfs-plain`` is the PR-2 enumeration, ``dfs-por`` the
+  DPOR-reduced one) so the reduction shows up in the timing table.
+* **a machine-readable perf artifact** (``python benchmarks/bench_explore.py
+  --json [--out BENCH_explore.json]``): measures plain-vs-POR reduction over
+  the 3-thread suite, sequential-vs-sharded sampling throughput, and the
+  4-thread exhaustion demo, and writes one JSON document so the perf
+  trajectory is tracked across PRs (CI uploads it as a build artifact).
+
+Environment knobs: ``REPRO_EXPLORE_BUDGET`` (schedules per pytest campaign,
+default 200).
 """
 
+import argparse
+import json
 import os
-
-import pytest
+import sys
+import time
 
 from repro.benchmarks_lib import get_benchmark
 from repro.explore import coop_monitor_and_class, explore_class
+from repro.explore.parallel import parallel_explore_class
 
 _BUDGET = int(os.environ.get("REPRO_EXPLORE_BUDGET", "200"))
 
 _BENCHMARKS = ("BoundedBuffer", "Readers-Writers", "PendingPostQueue")
-_STRATEGIES = ("random", "pct", "dfs")
-
-_CASES = [
-    pytest.param(name, strategy,
-                 id=f"{name.replace(' ', '')}-{strategy}")
-    for name in _BENCHMARKS
-    for strategy in _STRATEGIES
-]
+_STRATEGIES = ("random", "pct", "dfs-plain", "dfs-por")
 
 
-@pytest.mark.parametrize("name,strategy", _CASES)
-def test_explore_throughput(benchmark, name, strategy):
-    """Schedules/second of one exploration campaign (compile excluded)."""
-    spec = get_benchmark(name)
+def _campaign_args(strategy):
+    """(engine strategy, por flag) for a cell id."""
+    if strategy == "dfs-plain":
+        return "dfs", False
+    if strategy == "dfs-por":
+        return "dfs", True
+    return strategy, True
+
+
+try:
+    import pytest
+except ImportError:  # script mode does not need pytest
+    pytest = None
+
+if pytest is not None:
+    _CASES = [
+        pytest.param(name, strategy,
+                     id=f"{name.replace(' ', '')}-{strategy}")
+        for name in _BENCHMARKS
+        for strategy in _STRATEGIES
+    ]
+
+    @pytest.mark.parametrize("name,strategy", _CASES)
+    def test_explore_throughput(benchmark, name, strategy):
+        """Schedules/second of one exploration campaign (compile excluded)."""
+        spec = get_benchmark(name)
+        monitor, coop_class = coop_monitor_and_class(spec, "expresso")
+        engine_strategy, por = _campaign_args(strategy)
+        # DFS on a small configuration (it exhausts), sampling on a bigger one.
+        threads, ops = (2, 2) if engine_strategy == "dfs" else (4, 3)
+        programs = spec.workload(threads, ops)
+
+        def campaign():
+            return explore_class(monitor, coop_class, programs,
+                                 strategy=engine_strategy, budget=_BUDGET,
+                                 seed=0, minimize=False, por=por)
+
+        result = benchmark.pedantic(campaign, iterations=1, rounds=3)
+        assert result.ok, result.failures
+        benchmark.extra_info["benchmark"] = name
+        benchmark.extra_info["strategy"] = strategy
+        benchmark.extra_info["schedules_run"] = result.schedules_run
+        benchmark.extra_info["schedules_per_second"] = round(result.schedules_per_second, 1)
+        if engine_strategy == "dfs":
+            benchmark.extra_info["distinct_states"] = result.distinct_states
+            benchmark.extra_info["pruned"] = result.pruned
+            benchmark.extra_info["por_skipped"] = result.por_skipped
+            benchmark.extra_info["exhausted"] = result.exhausted
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the BENCH_explore.json perf artifact
+# ---------------------------------------------------------------------------
+
+
+def _result_summary(result) -> dict:
+    return {
+        "schedules_run": result.schedules_run,
+        "pruned": result.pruned,
+        "por_skipped": result.por_skipped,
+        "distinct_states": result.distinct_states,
+        "exhausted": result.exhausted,
+        "budget_exhausted": result.budget_exhausted,
+        "oracle_hits": result.oracle_hits,
+        "elapsed_seconds": round(result.elapsed_seconds, 3),
+        "schedules_per_second": round(result.schedules_per_second, 1),
+        "ok": result.ok,
+    }
+
+
+def _measure_reduction(suite, threads, ops, budget) -> dict:
+    """Plain-DFS vs DPOR-DFS over the bounded suite."""
+    rows = []
+    total_plain = total_por = 0
+    for name in suite:
+        spec = get_benchmark(name)
+        monitor, coop_class = coop_monitor_and_class(spec, "expresso")
+        programs = spec.workload(threads, ops)
+        plain = explore_class(monitor, coop_class, programs, strategy="dfs",
+                              budget=budget, minimize=False, por=False)
+        por = explore_class(monitor, coop_class, programs, strategy="dfs",
+                            budget=budget, minimize=False, por=True)
+        total_plain += plain.schedules_run
+        total_por += por.schedules_run
+        rows.append({
+            "benchmark": name,
+            "threads": threads,
+            "ops": ops,
+            "plain": _result_summary(plain),
+            "por": _result_summary(por),
+            "reduction_ratio": round(
+                plain.schedules_run / max(por.schedules_run, 1), 2),
+        })
+    return {
+        "rows": rows,
+        "total_plain_schedules": total_plain,
+        "total_por_schedules": total_por,
+        "aggregate_reduction_ratio": round(total_plain / max(total_por, 1), 2),
+    }
+
+
+def _measure_sampling(suite, threads, ops, budget, workers) -> dict:
+    """Sequential vs sharded random-campaign throughput."""
+    rows = []
+    for name in suite:
+        spec = get_benchmark(name)
+        monitor, coop_class = coop_monitor_and_class(spec, "expresso")
+        programs = spec.workload(threads, ops)
+        sequential = parallel_explore_class(
+            monitor, coop_class, programs, strategy="random", budget=budget,
+            seed=0, minimize=False, workers=1, benchmark=name)
+        sharded = parallel_explore_class(
+            monitor, coop_class, programs, strategy="random", budget=budget,
+            seed=0, minimize=False, workers=workers, benchmark=name)
+        rows.append({
+            "benchmark": name,
+            "threads": threads,
+            "ops": ops,
+            "budget": budget,
+            "workers": workers,
+            "sequential_schedules_per_second": round(
+                sequential.schedules_per_second, 1),
+            "sharded_schedules_per_second": round(
+                sharded.schedules_per_second, 1),
+            "speedup": round(
+                sharded.schedules_per_second
+                / max(sequential.schedules_per_second, 1e-9), 2),
+        })
+    return {"rows": rows}
+
+
+def _measure_four_thread(budget) -> dict:
+    """The exhaustion demo: a config plain DFS cannot finish, DPOR can."""
+    spec = get_benchmark("Readers-Writers")
     monitor, coop_class = coop_monitor_and_class(spec, "expresso")
-    # DFS on a small configuration (it exhausts), sampling on a bigger one.
-    threads, ops = (2, 2) if strategy == "dfs" else (4, 3)
-    programs = spec.workload(threads, ops)
+    programs = spec.workload(4, 3)
+    plain = explore_class(monitor, coop_class, programs, strategy="dfs",
+                          budget=budget, minimize=False, por=False)
+    por = explore_class(monitor, coop_class, programs, strategy="dfs",
+                        budget=budget, minimize=False, por=True)
+    return {
+        "benchmark": "Readers-Writers",
+        "threads": 4,
+        "ops": 3,
+        "budget": budget,
+        "plain": _result_summary(plain),
+        "por": _result_summary(por),
+    }
 
-    def campaign():
-        return explore_class(monitor, coop_class, programs, strategy=strategy,
-                             budget=_BUDGET, seed=0, minimize=False)
 
-    result = benchmark.pedantic(campaign, iterations=1, rounds=3)
-    assert result.ok, result.failures
-    benchmark.extra_info["benchmark"] = name
-    benchmark.extra_info["strategy"] = strategy
-    benchmark.extra_info["schedules_run"] = result.schedules_run
-    benchmark.extra_info["schedules_per_second"] = round(result.schedules_per_second, 1)
-    if strategy == "dfs":
-        benchmark.extra_info["distinct_states"] = result.distinct_states
-        benchmark.extra_info["exhausted"] = result.exhausted
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="write the BENCH_explore.json perf artifact")
+    parser.add_argument("--out", default="BENCH_explore.json",
+                        help="artifact path (default: BENCH_explore.json)")
+    parser.add_argument("--budget", type=int, default=50_000,
+                        help="DFS budget per campaign (default: 50000)")
+    parser.add_argument("--sampling-budget", type=int, default=8000,
+                        help="random-campaign budget (default: 8000)")
+    parser.add_argument("--four-thread-budget", type=int, default=5000,
+                        help="budget for the 4-thread demo (default: 5000)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="shard width for the sampling rows (default: 4)")
+    parser.add_argument("--threads", type=int, default=3)
+    parser.add_argument("--ops", type=int, default=3)
+    args = parser.parse_args(argv)
+    if not args.json:
+        parser.error("script mode only writes the JSON artifact; pass --json "
+                     "(or run this file under pytest for the timing cells)")
+
+    from repro.benchmarks_lib import ALL_BENCHMARKS
+
+    suite = list(ALL_BENCHMARKS)
+    start = time.perf_counter()
+    document = {
+        "budget": args.budget,
+        "threads": args.threads,
+        "ops": args.ops,
+        "cpu_count": os.cpu_count(),
+        "reduction": _measure_reduction(suite, args.threads, args.ops,
+                                        args.budget),
+        "sampling": _measure_sampling(_BENCHMARKS, 4, 3,
+                                      args.sampling_budget, args.workers),
+        "four_thread": _measure_four_thread(args.four_thread_budget),
+    }
+    document["wall_seconds"] = round(time.perf_counter() - start, 1)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}: "
+          f"{document['reduction']['aggregate_reduction_ratio']}x POR reduction, "
+          f"4-thread exhausted={document['four_thread']['por']['exhausted']}, "
+          f"{document['wall_seconds']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,12 @@ Usage examples::
     # Systematically explore schedules of the compiled monitors.
     expresso explore --benchmark BoundedBuffer --strategy dfs
     expresso explore --strategy random --schedules 500 --seed 42 --json
+    expresso explore --strategy random --schedules 20000 --workers 4
     expresso explore --fuzz 25 --seed 1 --schedules 100
+    expresso explore --replay failure.json
+
+    # Drop every placed notification; each must yield a counterexample.
+    expresso mutate --threads 3 --ops 2 --workers 4
 
     # List the built-in benchmarks.
     expresso list
@@ -125,8 +130,33 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "N random monitors end to end")
     explore_cmd.add_argument("--keep-going", action="store_true",
                              help="keep exploring after the first divergence")
+    explore_cmd.add_argument("--workers", type=_positive_int, default=1,
+                             help="shard the campaign over a process pool "
+                                  "(default: 1 = in-process)")
+    explore_cmd.add_argument("--no-por", dest="por", action="store_false",
+                             help="disable partial-order reduction for the "
+                                  "dfs strategy (plain PR-2 enumeration)")
+    explore_cmd.add_argument("--replay", metavar="FILE", default=None,
+                             help="re-run schedules from a JSON file written "
+                                  "by --json (or a minimal "
+                                  "{benchmark, schedule} object)")
     explore_cmd.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON instead of text")
+
+    mutate_cmd = sub.add_parser(
+        "mutate", help="drop every placed notification; each must be caught")
+    mutate_cmd.add_argument("--benchmark", action="append", default=None,
+                            help="benchmark to mutate (repeatable; default: all)")
+    mutate_cmd.add_argument("--threads", type=_positive_int, default=3,
+                            help="virtual threads per schedule (default: 3)")
+    mutate_cmd.add_argument("--ops", type=_positive_int, default=2,
+                            help="operations per virtual thread (default: 2)")
+    mutate_cmd.add_argument("--schedules", type=_positive_int, default=20_000,
+                            help="DFS budget per mutant (default: 20000)")
+    mutate_cmd.add_argument("--workers", type=_positive_int, default=None,
+                            help="process-pool size (default: one per CPU)")
+    mutate_cmd.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON instead of text")
 
     sub.add_parser("list", help="list the built-in benchmarks")
     return parser
@@ -220,9 +250,91 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _replay_jobs_from_file(path: str) -> List[dict]:
+    """Normalize a replay file into per-schedule replay jobs.
+
+    Accepts the full ``explore --json`` document (``{"results": [...]}``), a
+    single result object, or a minimal ``{"benchmark", "schedule"}`` object.
+    Each job carries benchmark/discipline/threads/ops context plus one
+    schedule (the minimized one for recorded failures).
+    """
+    document = json.loads(Path(path).read_text())
+    results = (document.get("results", [document])
+               if isinstance(document, dict) else list(document))
+    jobs: List[dict] = []
+    for result in results:
+        context = {
+            "benchmark": result.get("benchmark"),
+            "discipline": result.get("discipline", "expresso"),
+            "threads": result.get("threads", 3),
+            "ops": result.get("ops", 2),
+        }
+        if context["benchmark"] is None:
+            raise ValueError(f"replay entry without a benchmark name: {result}")
+        if "schedule" in result:
+            jobs.append({**context, "schedule": result["schedule"],
+                         "kind": result.get("kind")})
+        for failure in result.get("failures", []):
+            schedule = failure.get("minimized") or failure.get("schedule") or []
+            jobs.append({**context, "schedule": schedule,
+                         "kind": failure.get("kind")})
+    if not jobs:
+        raise ValueError(f"{path} contains no schedules to replay")
+    return jobs
+
+
+def _cmd_replay(args) -> int:
+    from repro.benchmarks_lib.registry import get_benchmark
+    from repro.explore import coop_monitor_and_class, replay_schedule
+    from repro.explore.trace import render_trace
+
+    try:
+        jobs = _replay_jobs_from_file(args.replay)
+    except (OSError, ValueError) as exc:  # ValueError covers JSONDecodeError
+        print(f"error: cannot replay {args.replay}: {exc}", file=sys.stderr)
+        return 2
+    any_failure = False
+    payload = []
+    for job in jobs:
+        spec = get_benchmark(job["benchmark"])
+        monitor, coop_class = coop_monitor_and_class(spec, job["discipline"])
+        programs = spec.workload(job["threads"], job["ops"])
+        run, verdict = replay_schedule(monitor, coop_class, programs,
+                                       job["schedule"],
+                                       max_steps=args.max_steps)
+        any_failure = any_failure or verdict.is_failure
+        payload.append({
+            "benchmark": job["benchmark"],
+            "discipline": job["discipline"],
+            "schedule": list(job["schedule"]),
+            "expected_kind": job.get("kind"),
+            "outcome": run.outcome,
+            "ok": verdict.ok,
+            "kind": verdict.kind,
+            "detail": verdict.detail,
+        })
+        if not args.json:
+            status = "ok" if verdict.ok else f"{verdict.kind} — {verdict.detail}"
+            print(f"{job['benchmark']}/{job['discipline']} "
+                  f"schedule={list(job['schedule'])}: {status}")
+            if verdict.is_failure:
+                print(render_trace(run, programs, verdict))
+    if args.json:
+        print(json.dumps({"replays": payload, "ok": not any_failure}, indent=2))
+    return 1 if any_failure else 0
+
+
 def _cmd_explore(args) -> int:
     from repro.explore import explore_benchmark
     from repro.explore.genmon import fuzz_pipeline
+    from repro.explore.parallel import parallel_explore_benchmark
+
+    if args.replay is not None:
+        if args.fuzz is not None or args.benchmark:
+            print("error: --replay re-runs recorded schedules; it cannot be "
+                  "combined with --fuzz or --benchmark", file=sys.stderr)
+            return 2
+        return _cmd_replay(args)
 
     if args.fuzz is not None:
         if args.benchmark or args.discipline != "expresso":
@@ -255,10 +367,18 @@ def _cmd_explore(args) -> int:
         specs = list(ALL_BENCHMARKS.values())
     results = []
     for spec in specs:
-        results.append(explore_benchmark(
-            spec, args.discipline, threads=args.threads, ops=args.ops,
-            strategy=args.strategy, budget=args.schedules, seed=args.seed,
-            max_steps=args.max_steps, stop_on_failure=not args.keep_going))
+        if args.workers > 1:
+            results.append(parallel_explore_benchmark(
+                spec, args.discipline, threads=args.threads, ops=args.ops,
+                strategy=args.strategy, budget=args.schedules, seed=args.seed,
+                max_steps=args.max_steps, stop_on_failure=not args.keep_going,
+                por=args.por, workers=args.workers))
+        else:
+            results.append(explore_benchmark(
+                spec, args.discipline, threads=args.threads, ops=args.ops,
+                strategy=args.strategy, budget=args.schedules, seed=args.seed,
+                max_steps=args.max_steps, stop_on_failure=not args.keep_going,
+                por=args.por))
     ok = all(result.ok for result in results)
     if args.json:
         print(json.dumps({"results": [result.to_dict() for result in results],
@@ -278,6 +398,42 @@ def _cmd_explore(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_mutate(args) -> int:
+    from repro.benchmarks_lib.registry import get_benchmark
+    from repro.explore.parallel import mutation_campaign
+
+    if args.benchmark:
+        specs = [get_benchmark(name) for name in args.benchmark]
+    else:
+        specs = list(ALL_BENCHMARKS.values())
+    report = mutation_campaign(specs, threads=args.threads, ops=args.ops,
+                               budget=args.schedules, workers=args.workers)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    header = "Mutation campaign (every dropped signal must be caught)"
+    print(header)
+    print("-" * len(header))
+    for mutant in report.mutants:
+        label, index = mutant["site"]
+        tag = mutant["status"]
+        if tag == "caught":
+            tag = f"caught: {mutant['kind']}"
+        elif tag == "benign":
+            tag = "benign (exhausted without divergence)"
+        print(f"{mutant['benchmark']:30s} {label}[{index}]".ljust(52)
+              + f" {tag} [{mutant['schedules_run']} schedules]")
+    summary = report.to_dict()
+    print("-" * len(header))
+    print(f"TOTAL: {summary['total']} mutants — {summary['caught']} caught, "
+          f"{summary['benign']} benign, {summary['survived']} survived "
+          f"({report.elapsed_seconds:.1f}s, {report.workers} workers)")
+    for mutant in report.survived:
+        print(f"\nSURVIVED: {mutant['benchmark']} {mutant['site']} — the "
+              f"budget ran out before a counterexample was found")
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args) -> int:
     for name, spec in ALL_BENCHMARKS.items():
         print(f"{name:32s} figure {spec.figure}   ({spec.origin})")
@@ -291,6 +447,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "bench": _cmd_bench,
         "explore": _cmd_explore,
+        "mutate": _cmd_mutate,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

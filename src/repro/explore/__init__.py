@@ -27,9 +27,17 @@ from repro.explore.engine import (
     explore_benchmark,
     explore_class,
     explore_explicit,
+    footprints_for_explicit,
     replay_schedule,
 )
-from repro.explore.oracle import OracleVerdict, ReferenceReplay, check_run
+from repro.explore.oracle import OracleCache, OracleVerdict, ReferenceReplay, check_run
+from repro.explore.parallel import (
+    MutationReport,
+    merge_results,
+    mutation_campaign,
+    parallel_explore_benchmark,
+    parallel_explore_class,
+)
 from repro.explore.reduce import ddmin
 from repro.explore.scheduler import (
     CoopScheduler,
@@ -40,7 +48,10 @@ from repro.explore.scheduler import (
     run_schedule,
 )
 from repro.explore.strategies import (
+    DporStrategy,
     FirstStrategy,
+    IndependenceRelation,
+    MethodFootprint,
     PCTStrategy,
     RandomStrategy,
     ScheduleStrategy,
@@ -53,12 +64,16 @@ __all__ = [
     "COOP_DISCIPLINES", "STRATEGIES",
     "Counterexample", "ExplorationResult",
     "coop_class_for_explicit", "coop_monitor_and_class",
-    "explore_benchmark", "explore_class", "explore_explicit", "replay_schedule",
-    "OracleVerdict", "ReferenceReplay", "check_run",
+    "explore_benchmark", "explore_class", "explore_explicit",
+    "footprints_for_explicit", "replay_schedule",
+    "OracleCache", "OracleVerdict", "ReferenceReplay", "check_run",
+    "MutationReport", "merge_results", "mutation_campaign",
+    "parallel_explore_benchmark", "parallel_explore_class",
     "ddmin",
     "CoopScheduler", "Decision", "RunResult", "SchedulerError", "TraceEvent",
     "run_schedule",
-    "FirstStrategy", "PCTStrategy", "RandomStrategy", "ScheduleStrategy",
+    "DporStrategy", "FirstStrategy", "IndependenceRelation", "MethodFootprint",
+    "PCTStrategy", "RandomStrategy", "ScheduleStrategy",
     "Strategy", "make_strategy",
     "render_trace",
 ]

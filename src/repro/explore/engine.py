@@ -11,20 +11,31 @@ placements.
 
 Three strategies are supported (see :mod:`repro.explore.strategies`):
 
-* ``dfs`` — exhaustive depth-first enumeration of all scheduling decisions
-  with shared-state hashing: a schedule prefix that re-enters an
-  already-visited global state is pruned.  Feasible for small
-  configurations; sets ``exhausted=True`` when the whole space was covered.
+* ``dfs`` — exhaustive depth-first enumeration of all scheduling decisions.
+  By default it runs with **dynamic partial-order reduction** (``por=True``):
+  sleep sets plus a DPOR-style backtrack filter over grant decisions (two
+  enabled choices commute unless their method footprints touch the same
+  shared fields or condition variables), and an early *merge probe* that
+  cuts a backtracking replay the moment its divergent suffix re-enters an
+  already-visited state — so the engine judges one canonical representative
+  per Mazurkiewicz trace instead of every interleaving.  ``por=False``
+  recovers the plain PR-2 DFS (every popped prefix runs to completion and is
+  judged), which the soundness cross-check tests compare against.  Both
+  variants set ``exhausted=True`` when the whole (reduced) space was covered.
 * ``random`` — seeded uniform random walks (seed *i* of a budget-N run uses
   ``seed + i``, so any failing walk is reproducible in isolation).
 * ``pct`` — PCT-style priority schedules, better at deep ordering bugs.
+
+All strategies share a per-campaign :class:`~repro.explore.oracle.OracleCache`
+so commit prefixes are interpreted against the reference semantics exactly
+once, however many schedules revisit them.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.codegen.python_gen import (
     generate_python_autosynch,
@@ -32,12 +43,30 @@ from repro.codegen.python_gen import (
     generate_python_implicit,
     materialize_class,
 )
-from repro.explore.oracle import OracleVerdict, check_run
+from repro.explore.oracle import OracleCache, OracleVerdict, check_run
 from repro.explore.reduce import ddmin
-from repro.explore.scheduler import RunResult, run_schedule
-from repro.explore.strategies import FirstStrategy, ScheduleStrategy, make_strategy
+from repro.explore.scheduler import Decision, RunResult, run_schedule
+from repro.explore.strategies import (
+    DporStrategy,
+    FirstStrategy,
+    IndependenceRelation,
+    MethodFootprint,
+    ScheduleStrategy,
+    make_strategy,
+)
 from repro.explore.trace import render_trace
-from repro.lang.ast import Monitor
+from repro.lang.ast import (
+    ArrayAssign,
+    Assign,
+    If,
+    LocalDecl,
+    Monitor,
+    Stmt,
+    While,
+    stmt_assigned_vars,
+)
+from repro.logic import TRUE
+from repro.logic.free_vars import free_vars
 from repro.placement.target import ExplicitMonitor
 
 #: The disciplines the engine can adversarially schedule.
@@ -50,6 +79,74 @@ _COOP_CLASS_CACHE: Dict[Tuple, type] = {}
 
 
 # ---------------------------------------------------------------------------
+# Method footprints (the POR independence base)
+# ---------------------------------------------------------------------------
+
+
+def _expr_fields(expr, fields: frozenset) -> Set[str]:
+    return {var.name for var in free_vars(expr) if var.name in fields}
+
+
+def _stmt_reads(stmt: Stmt, fields: frozenset) -> Set[str]:
+    """Shared fields read anywhere inside *stmt*."""
+    reads: Set[str] = set()
+    if isinstance(stmt, Assign):
+        reads |= _expr_fields(stmt.value, fields)
+    elif isinstance(stmt, ArrayAssign):
+        reads |= _expr_fields(stmt.index, fields)
+        reads |= _expr_fields(stmt.value, fields)
+    elif isinstance(stmt, LocalDecl):
+        reads |= _expr_fields(stmt.init, fields)
+    elif isinstance(stmt, If):
+        reads |= _expr_fields(stmt.cond, fields)
+    elif isinstance(stmt, While):
+        reads |= _expr_fields(stmt.cond, fields)
+    for child in stmt.children():
+        reads |= _stmt_reads(child, fields)
+    return reads
+
+
+def footprints_for_explicit(explicit: ExplicitMonitor) -> Dict[str, MethodFootprint]:
+    """Per-method shared-field/condition-variable footprints of a placement.
+
+    The footprint over-approximates everything the *compiled* method can
+    touch: guard evaluations and conditional-notification predicates count as
+    reads, placed notifications as signals on their condition variable, and
+    non-trivial guards as waits.  Mutants produced by
+    :meth:`ExplicitMonitor.without_notification` get footprints from their
+    own (reduced) notification sets, so independence reflects the mutant's
+    actual behaviour.
+    """
+    fields = frozenset(decl.name for decl in explicit.fields)
+    cond_of = {guard: name for guard, name in explicit.condition_vars}
+    footprints: Dict[str, MethodFootprint] = {}
+    for method in explicit.methods:
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        waits: Set[str] = set()
+        signals: Set[str] = set()
+        for ccr in method.ccrs:
+            reads |= _expr_fields(ccr.guard, fields)
+            reads |= _stmt_reads(ccr.body, fields)
+            writes |= set(stmt_assigned_vars(ccr.body)) & fields
+            if ccr.guard != TRUE:
+                cond = cond_of.get(ccr.guard)
+                if cond is not None:
+                    waits.add(cond)
+            for notification in ccr.notifications:
+                cond = cond_of.get(notification.predicate)
+                if cond is None:
+                    continue  # the code generator drops these too
+                signals.add(cond)
+                if notification.conditional:
+                    reads |= _expr_fields(notification.predicate, fields)
+        footprints[method.name] = MethodFootprint(
+            frozenset(reads), frozenset(writes),
+            frozenset(waits), frozenset(signals))
+    return footprints
+
+
+# ---------------------------------------------------------------------------
 # Coop-class construction
 # ---------------------------------------------------------------------------
 
@@ -58,7 +155,10 @@ def coop_class_for_explicit(explicit: ExplicitMonitor,
                             class_name: str = "CoopMonitor") -> type:
     """Materialize the scheduler-targeting class for a placed monitor."""
     source = generate_python_explicit(explicit, class_name=class_name, coop=True)
-    return materialize_class(source, class_name)
+    cls = materialize_class(source, class_name)
+    cls._coop_footprints = footprints_for_explicit(explicit)
+    cls._coop_source = source
+    return cls
 
 
 def coop_monitor_and_class(spec, discipline: str,
@@ -83,14 +183,19 @@ def coop_monitor_and_class(spec, discipline: str,
         if key not in _COOP_CLASS_CACHE:
             source = generate_python_autosynch(reference, "CoopMonitor", coop=True)
             _COOP_CLASS_CACHE[key] = materialize_class(source, "CoopMonitor")
+            _COOP_CLASS_CACHE[key]._coop_source = source
     elif discipline == "implicit":
         reference = spec.monitor()
         if key not in _COOP_CLASS_CACHE:
             source = generate_python_implicit(reference, "CoopMonitor", coop=True)
             _COOP_CLASS_CACHE[key] = materialize_class(source, "CoopMonitor")
+            _COOP_CLASS_CACHE[key]._coop_source = source
     else:
         raise ValueError(f"unknown discipline {discipline!r}; "
                          f"expected one of {COOP_DISCIPLINES}")
+    # The automatic runtimes broadcast on every exit, so no two of their
+    # segments commute; they get no footprints (POR degrades to merge
+    # probing, which is discipline-agnostic).
     return reference, _COOP_CLASS_CACHE[key]
 
 
@@ -125,20 +230,39 @@ class Counterexample:
 
 @dataclass
 class ExplorationResult:
-    """Aggregate outcome of one exploration campaign."""
+    """Aggregate outcome of one exploration campaign.
+
+    ``schedules_run`` counts fully executed, oracle-judged schedules.
+    ``pruned`` counts backtracking replays cut off by the merge probe (their
+    divergent suffix re-entered a visited state), and ``por_skipped`` counts
+    subtrees the partial-order reduction proved redundant without running
+    them (sleep-set hits and backtrack-filter skips).  ``budget_exhausted``
+    distinguishes "stopped because the budget ran out" from "covered
+    everything" (``exhausted``).
+    """
 
     benchmark: str
     discipline: str
     strategy: str
     seed: int
+    threads: int = 0
+    ops: int = 0
+    workers: int = 1
     schedules_run: int = 0
     completed: int = 0
     stalls: int = 0
     pruned: int = 0
+    por_skipped: int = 0
     distinct_states: int = 0
     exhausted: bool = False
+    budget_exhausted: bool = False
+    oracle_hits: int = 0
+    oracle_misses: int = 0
     elapsed_seconds: float = 0.0
     failures: List[Counterexample] = field(default_factory=list)
+    #: Stable 64-bit hashes of the visited-state set (only populated when the
+    #: engine is asked to export them, e.g. to union shard coverage).
+    state_hashes: Optional[List[int]] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -156,12 +280,19 @@ class ExplorationResult:
             "discipline": self.discipline,
             "strategy": self.strategy,
             "seed": self.seed,
+            "threads": self.threads,
+            "ops": self.ops,
+            "workers": self.workers,
             "schedules_run": self.schedules_run,
             "completed": self.completed,
             "stalls": self.stalls,
             "pruned": self.pruned,
+            "por_skipped": self.por_skipped,
             "distinct_states": self.distinct_states,
             "exhausted": self.exhausted,
+            "budget_exhausted": self.budget_exhausted,
+            "oracle_hits": self.oracle_hits,
+            "oracle_misses": self.oracle_misses,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
             "schedules_per_second": round(self.schedules_per_second, 2),
             "ok": self.ok,
@@ -236,7 +367,8 @@ def _tally(outcome: ExplorationResult, run: RunResult,
 
 def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
                       budget: int, seed: int, max_steps: int,
-                      stop_on_failure: bool, minimize: bool) -> None:
+                      stop_on_failure: bool, minimize: bool,
+                      oracle: OracleCache) -> None:
     # PCT change points must land inside the run: roughly one grant decision
     # per operation plus slack for waits/relays.
     expected_decisions = max(8, 2 * sum(len(program) for program in programs))
@@ -244,7 +376,9 @@ def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
         walk_seed = seed + iteration
         strategy = make_strategy(outcome.strategy, walk_seed,
                                  expected_decisions=expected_decisions)
-        run, verdict = _run_once(monitor, coop_class, programs, strategy, max_steps)
+        instance = coop_class()
+        run = run_schedule(instance, programs, strategy, max_steps)
+        verdict = oracle.judge(run, instance)
         _tally(outcome, run, verdict)
         if verdict.is_failure:
             _record_failure(outcome, monitor, coop_class, programs, run, verdict,
@@ -253,18 +387,20 @@ def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
                 return
 
 
-def _explore_dfs(monitor, coop_class, programs, outcome: ExplorationResult,
-                 budget: int, max_steps: int, stop_on_failure: bool,
-                 minimize: bool) -> None:
-    seen: set = set()
-    stack: List[Tuple[int, ...]] = [()]
+def _explore_dfs_plain(monitor, coop_class, programs, outcome: ExplorationResult,
+                       budget: int, max_steps: int, stop_on_failure: bool,
+                       minimize: bool, oracle: OracleCache,
+                       seen: set, dfs_prefixes=None) -> None:
+    stack: List[Tuple[int, ...]] = (
+        [tuple(prefix) for prefix in reversed(dfs_prefixes)]
+        if dfs_prefixes else [()])
     while stack and outcome.schedules_run < budget:
         prefix = stack.pop()
         strategy = ScheduleStrategy(prefix, FirstStrategy())
         instance = coop_class()
         run = run_schedule(instance, programs, strategy, max_steps,
-                           fingerprints=True)
-        verdict = check_run(monitor, programs, instance, run)
+                           fingerprints=True, fingerprint_after=len(prefix))
+        verdict = oracle.judge(run, instance)
         _tally(outcome, run, verdict)
         # Decisions at positions < len(prefix) replay ancestor choices whose
         # alternatives the ancestors already pushed; fresh positions start at
@@ -294,29 +430,179 @@ def _explore_dfs(monitor, coop_class, programs, outcome: ExplorationResult,
                             "dfs", None, max_steps, minimize)
             if stop_on_failure:
                 break
-    outcome.distinct_states = len(seen)
     outcome.exhausted = not stack
+    outcome.budget_exhausted = bool(stack)
+
+
+def _commutes_past(run: RunResult, decision: Decision, tid: int, method: str,
+                   independence: IndependenceRelation) -> bool:
+    """Does deferring thread *tid*'s pending segment commute with the run?
+
+    The DPOR backtrack filter: the sibling choice "grant *tid* now" needs no
+    exploration when every segment the run executed between this decision and
+    *tid*'s own next grant is independent of *tid*'s pending method — the two
+    orders reach the same state through equivalent (Mazurkiewicz-equal)
+    traces, and the run already covers the canonical one.  Truncated runs
+    where *tid* never ran again answer conservatively False.
+    """
+    # events[event_index] is the chosen thread's own grant: the scan starts
+    # there so the chosen segment itself is dependence-checked too.
+    for event in run.events[decision.event_index:]:
+        if event.kind != "grant":
+            continue
+        if event.thread == tid:
+            return True
+        if not independence.independent(method, event.label):
+            return False
+    return False
+
+
+def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
+                 strategy: DporStrategy, stack: list,
+                 independence: IndependenceRelation,
+                 outcome: ExplorationResult) -> None:
+    """Push the non-redundant sibling prefixes of one DPOR run.
+
+    Children of each decision node are pushed so pops follow exploration
+    order (shallowest node first, ascending alternatives), and each sibling's
+    sleep set accumulates the siblings explored before it — the classic
+    sleep-set discipline adapted to the worklist DFS.
+    """
+    decisions = run.decisions
+    sleeps = strategy.fresh_sleeps
+    choices = run.choices
+    entries: List[Tuple[Tuple[int, ...], frozenset]] = []
+    for offset, position in enumerate(range(len(prefix), len(decisions))):
+        decision = decisions[position]
+        node_sleep = sleeps[offset]
+        child_prefix = choices[:position]
+        if decision.kind != "grant":
+            # Signal choices are not reduced: every alternative wake target
+            # is explored (the woken thread's identity is observable).
+            for alternative in range(len(decision.candidates)):
+                if alternative != decision.chosen:
+                    entries.append((child_prefix + (alternative,), node_sleep))
+            continue
+        chosen_tid = decision.candidates[decision.chosen]
+        chosen_method = decision.methods[decision.chosen]
+        asleep = {tid for tid, _method in node_sleep}
+        cumulative = set(node_sleep)
+        cumulative.add((chosen_tid, chosen_method))
+        for alternative in range(len(decision.candidates)):
+            if alternative == decision.chosen:
+                continue
+            tid = decision.candidates[alternative]
+            method = decision.methods[alternative]
+            if tid in asleep:
+                # Sleep set: an ancestor's sibling already explores every
+                # trace that starts by running this thread here.
+                outcome.por_skipped += 1
+                continue
+            if _commutes_past(run, decision, tid, method, independence):
+                outcome.por_skipped += 1
+                continue
+            entries.append((child_prefix + (alternative,), frozenset(cumulative)))
+            cumulative.add((tid, method))
+    stack.extend(reversed(entries))
+
+
+def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
+                  budget: int, max_steps: int, stop_on_failure: bool,
+                  minimize: bool, oracle: OracleCache,
+                  seen: set, dfs_prefixes=None) -> None:
+    independence = IndependenceRelation(
+        getattr(coop_class, "_coop_footprints", None))
+    stack: List[Tuple[Tuple[int, ...], frozenset]] = (
+        [(tuple(prefix), frozenset()) for prefix in reversed(dfs_prefixes)]
+        if dfs_prefixes else [((), frozenset())])
+
+    def probe(fingerprint: tuple) -> bool:
+        if fingerprint in seen:
+            return True
+        seen.add(fingerprint)
+        return False
+
+    # Probes (merge-aborted replays) are bounded by the state-graph edge
+    # count, but cap total work anyway so a pathological class cannot spin.
+    work_cap = 60 * budget
+    stopped = False
+    while stack and outcome.schedules_run < budget and not stopped:
+        if outcome.pruned + outcome.por_skipped >= work_cap:
+            break
+        prefix, sleep = stack.pop()
+        strategy = DporStrategy(prefix, sleep, independence)
+        instance = coop_class()
+        run = run_schedule(instance, programs, strategy, max_steps,
+                           fingerprints=True, fingerprint_after=len(prefix),
+                           merge_probe=probe)
+        if run.outcome == "merged":
+            outcome.pruned += 1
+            verdict = oracle.judge_partial(run)
+        elif run.outcome == "sleep-set":
+            outcome.por_skipped += 1
+            verdict = oracle.judge_partial(run)
+        else:
+            verdict = oracle.judge(run, instance)
+            _tally(outcome, run, verdict)
+        _expand_dpor(run, prefix, strategy, stack, independence, outcome)
+        if verdict.is_failure:
+            _record_failure(outcome, monitor, coop_class, programs, run, verdict,
+                            "dfs", None, max_steps, minimize)
+            if stop_on_failure:
+                stopped = True
+    outcome.exhausted = not stack
+    outcome.budget_exhausted = bool(stack)
 
 
 def explore_class(monitor: Monitor, coop_class: type, programs,
                   strategy: str = "random", budget: int = 200, seed: int = 0,
                   max_steps: int = 20_000, stop_on_failure: bool = True,
                   minimize: bool = True, benchmark: str = "?",
-                  discipline: str = "?") -> ExplorationResult:
-    """Explore one coop monitor class over fixed per-thread programs."""
+                  discipline: str = "?", por: bool = True,
+                  dfs_prefixes: Optional[Sequence[Sequence[int]]] = None,
+                  export_state_hashes: bool = False) -> ExplorationResult:
+    """Explore one coop monitor class over fixed per-thread programs.
+
+    ``por`` selects partial-order reduction for the ``dfs`` strategy
+    (sampling strategies ignore it).  ``dfs_prefixes`` restricts the DFS to
+    the subtrees rooted at the given choice prefixes (the parallel driver
+    shards the top-level decision this way).  ``export_state_hashes``
+    populates ``result.state_hashes`` with stable hashes of the visited
+    states so shard coverage can be unioned across processes.
+    """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    # ``ops`` falls back to the longest program; registry-level entry points
+    # overwrite it with the actual workload parameter.
     outcome = ExplorationResult(benchmark=benchmark, discipline=discipline,
-                                strategy=strategy, seed=seed)
+                                strategy=strategy, seed=seed,
+                                threads=len(programs),
+                                ops=max((len(p) for p in programs), default=0))
+    oracle = OracleCache(monitor, programs)
+    seen: set = set()
     start = time.perf_counter()
     if strategy == "dfs":
-        _explore_dfs(monitor, coop_class, programs, outcome, budget, max_steps,
-                     stop_on_failure, minimize)
+        driver = _explore_dpor if por else _explore_dfs_plain
+        driver(monitor, coop_class, programs, outcome, budget, max_steps,
+               stop_on_failure, minimize, oracle, seen, dfs_prefixes)
+        outcome.distinct_states = len(seen)
     else:
         _explore_sampling(monitor, coop_class, programs, outcome, budget, seed,
-                          max_steps, stop_on_failure, minimize)
+                          max_steps, stop_on_failure, minimize, oracle)
     outcome.elapsed_seconds = time.perf_counter() - start
+    outcome.oracle_hits = oracle.hits
+    outcome.oracle_misses = oracle.misses
+    if export_state_hashes:
+        outcome.state_hashes = sorted(_stable_hash(fp) for fp in seen)
     return outcome
+
+
+def _stable_hash(fingerprint: tuple) -> int:
+    """A process-stable 64-bit hash of a state fingerprint."""
+    import hashlib
+
+    digest = hashlib.blake2b(repr(fingerprint).encode(), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
 
 
 def explore_explicit(explicit: ExplicitMonitor, reference: Monitor, programs,
@@ -335,4 +621,9 @@ def explore_benchmark(spec, discipline: str = "expresso", threads: int = 3,
     programs = spec.workload(threads, ops)
     kwargs.setdefault("benchmark", spec.name)
     kwargs.setdefault("discipline", discipline)
-    return explore_class(reference, coop_class, programs, **kwargs)
+    result = explore_class(reference, coop_class, programs, **kwargs)
+    # Record the *workload parameter*, not the derived program length (roles
+    # may emit several calls per op) — `--replay` feeds it back to
+    # ``spec.workload`` and must regenerate the same programs.
+    result.ops = ops
+    return result

@@ -139,6 +139,139 @@ class ReferenceReplay:
         return mismatches
 
 
+class _TrieNode:
+    """One commit-prefix of the reference replay, with its resulting state."""
+
+    __slots__ = ("children", "state", "positions", "violation", "mismatch")
+
+    def __init__(self, state: MonitorState, positions: Dict[int, Tuple[int, int]],
+                 violation: Optional[str] = None, mismatch: Optional[str] = None):
+        self.children: Dict[Tuple[int, str], "_TrieNode"] = {}
+        self.state = state            # reference state AFTER this commit prefix
+        self.positions = positions    # per-thread (op, ccr) positions
+        self.violation = violation    # guard-violation detail at the last commit
+        self.mismatch = mismatch      # commit-mismatch error at the last commit
+
+
+class OracleCache:
+    """Memoized differential oracle for one exploration campaign.
+
+    Systematic exploration replays the same commit prefixes thousands of
+    times (DFS siblings share everything up to their divergence; random walks
+    repeat hot interleavings).  The cache interns reference-replay states in
+    a trie keyed by commit prefix, so judging a run only interprets the
+    commits the campaign has never seen in that order — a commit order seen
+    verbatim costs a dictionary walk.  Complete verdicts are additionally
+    memoized by (commit order, outcome, waiting set): generated coop classes
+    mutate shared fields only inside committed CCR bodies, so the commit
+    order determines the compiled shared state and the verdict is a pure
+    function of the key.
+    """
+
+    def __init__(self, monitor: Monitor,
+                 programs: Sequence[Sequence[Tuple[str, tuple]]]):
+        self.monitor = monitor
+        self.programs = programs
+        self._stepper = ReferenceReplay(monitor, programs)
+        self._root = _TrieNode(self._stepper.state.copy(),
+                               dict(self._stepper._position))
+        self._verdicts: Dict[tuple, OracleVerdict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- trie -----------------------------------------------------------------
+
+    def _child(self, node: _TrieNode, commit: Tuple[int, str]) -> _TrieNode:
+        child = node.children.get(commit)
+        if child is not None:
+            return child
+        stepper = self._stepper
+        stepper.state = node.state.copy()
+        stepper._position = dict(node.positions)
+        try:
+            detail = stepper.commit(*commit)
+        except ValueError as exc:
+            child = _TrieNode(node.state, node.positions, mismatch=str(exc))
+        else:
+            child = _TrieNode(stepper.state, dict(stepper._position),
+                              violation=detail)
+        node.children[commit] = child
+        return child
+
+    def _walk(self, commits) -> Tuple[Optional[_TrieNode], Optional[OracleVerdict]]:
+        """Follow *commits* through the trie, extending it as needed."""
+        node = self._root
+        for commit in commits:
+            node = self._child(node, commit)
+            if node.mismatch is not None:
+                return None, OracleVerdict(False, "commit-mismatch", node.mismatch)
+            if node.violation is not None:
+                return None, OracleVerdict(False, "guard-violation", node.violation)
+        return node, None
+
+    def _view(self, node: _TrieNode) -> ReferenceReplay:
+        """A ReferenceReplay positioned at *node* (on copied state)."""
+        stepper = self._stepper
+        stepper.state = node.state.copy()
+        stepper._position = dict(node.positions)
+        return stepper
+
+    # -- judging --------------------------------------------------------------
+
+    def judge(self, result, instance) -> OracleVerdict:
+        """Memoized equivalent of :func:`check_run` for complete runs."""
+        key = (tuple(result.commits), result.outcome,
+               tuple(sorted(result.waiting.items())))
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        verdict = self._judge(result, instance)
+        self._verdicts[key] = verdict
+        return verdict
+
+    def _judge(self, result, instance) -> OracleVerdict:
+        if result.outcome == "error":
+            return OracleVerdict(False, "error", result.error or "execution error")
+        node, failure = self._walk(result.commits)
+        if failure is not None:
+            return failure
+        if result.outcome == "step-limit":
+            return OracleVerdict(False, "step-limit",
+                                 f"schedule exceeded {result.steps} steps "
+                                 f"without finishing")
+        if result.outcome == "deadlock":
+            view = self._view(node)
+            for tid in sorted(result.waiting):
+                if view.pending_guard_true(tid):
+                    label, _guard = view.pending(tid)
+                    return OracleVerdict(
+                        False, "lost-wakeup",
+                        f"thread {tid} sleeps on {label} although its guard "
+                        f"holds in the reference state — the implicit monitor "
+                        f"would wake it")
+            return OracleVerdict(True, "stall",
+                                 "every sleeping guard is false in the reference "
+                                 "state (the implicit monitor is equally stuck)")
+        mismatches = self._view(node).shared_mismatches(instance)
+        if mismatches:
+            rendered = ", ".join(f"{name}: reference={exp!r} compiled={act!r}"
+                                 for name, exp, act in mismatches)
+            return OracleVerdict(False, "state-divergence", rendered)
+        return OracleVerdict(True)
+
+    def judge_partial(self, result) -> OracleVerdict:
+        """Judge the commits of a truncated run (merged / sleep-set pruned).
+
+        Only per-commit failure classes (guard violations, commit mismatches)
+        apply — completion classes (state divergence, lost wakeups) are
+        checked on the full runs that cover the truncated run's subtree.
+        """
+        _node, failure = self._walk(result.commits)
+        return failure if failure is not None else OracleVerdict(True)
+
+
 def check_run(monitor: Monitor, programs: Sequence[Sequence[Tuple[str, tuple]]],
               instance, result) -> OracleVerdict:
     """Judge one :class:`~repro.explore.scheduler.RunResult` differentially."""

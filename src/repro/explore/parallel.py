@@ -1,0 +1,359 @@
+"""Parallel exploration campaigns: shard schedules over a process pool.
+
+Schedules are independent, so a campaign parallelizes embarrassingly — the
+only care is determinism of the *reported* result:
+
+* ``random`` / ``pct`` budgets are sharded into contiguous seed blocks
+  (worker *i* explores walk seeds ``seed+start_i .. seed+end_i-1``); because
+  walk ``seed + k`` is exactly the schedule a sequential campaign would run
+  as iteration *k*, the merged first failure — minimal global iteration
+  index — is the same schedule a ``--workers 1`` campaign reports.
+* ``dfs`` shards the *top-level decision*: the driver runs one schedule to
+  find the first branching decision and gives each worker a slice of its
+  alternatives as DFS root prefixes.  Shards keep private visited-state sets
+  (coverage is unioned via stable state hashes), and the merged failure list
+  is ordered by (shard, discovery order).
+
+Workers never recompile the monitor: the parent ships the *generated coop
+class source* (plus the reference AST and POR footprints), so a worker only
+``exec``s the class definition — no SMT, no placement.
+
+The module also hosts the **mutation campaign**: iterate every placed
+notification of every benchmark (``ExplicitMonitor.notification_sites``),
+delete it, and require the exploration engine to produce a counterexample —
+a placement-wide lost-wakeup detection sweep, parallelized per mutant.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.python_gen import generate_python_explicit, materialize_class
+from repro.explore.engine import (
+    Counterexample,
+    ExplorationResult,
+    coop_monitor_and_class,
+    explore_class,
+    footprints_for_explicit,
+)
+from repro.explore.scheduler import run_schedule
+from repro.explore.strategies import FirstStrategy
+from repro.lang.ast import Monitor
+from repro.placement.target import ExplicitMonitor
+
+
+def default_workers() -> int:
+    return os.cpu_count() or 2
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _rebuild_class(job: dict) -> type:
+    cls = materialize_class(job["class_source"], job["class_name"])
+    if job.get("footprints") is not None:
+        cls._coop_footprints = job["footprints"]
+    return cls
+
+
+def _run_shard(job: dict) -> ExplorationResult:
+    """One worker's slice of a campaign (executed in a pool process)."""
+    coop_class = _rebuild_class(job)
+    return explore_class(
+        job["monitor"], coop_class, job["programs"],
+        strategy=job["strategy"], budget=job["budget"], seed=job["seed"],
+        max_steps=job["max_steps"], stop_on_failure=job["stop_on_failure"],
+        minimize=job["minimize"], benchmark=job["benchmark"],
+        discipline=job["discipline"], por=job["por"],
+        dfs_prefixes=job.get("dfs_prefixes"),
+        export_state_hashes=job["strategy"] == "dfs")
+
+
+def _run_mutant(job: dict) -> dict:
+    """Explore one notification-deleted mutant (executed in a pool process)."""
+    mutant: ExplicitMonitor = job["mutant"]
+    source = generate_python_explicit(mutant, class_name="CoopMonitor", coop=True)
+    cls = materialize_class(source, "CoopMonitor")
+    cls._coop_footprints = footprints_for_explicit(mutant)
+    result = explore_class(
+        job["monitor"], cls, job["programs"], strategy="dfs",
+        budget=job["budget"], max_steps=job["max_steps"],
+        stop_on_failure=True, minimize=job["minimize"],
+        benchmark=job["benchmark"], discipline="mutant", por=True)
+    if result.ok and result.exhausted:
+        status = "benign"        # proven unobservable within this bound
+    elif result.ok:
+        status = "survived"      # budget ran out without a counterexample
+    else:
+        status = "caught"
+    failure = result.failures[0].to_dict() if result.failures else None
+    return {
+        "benchmark": job["benchmark"],
+        "site": job["site"],
+        "status": status,
+        "kind": failure["kind"] if failure else None,
+        "schedules_run": result.schedules_run,
+        "exhausted": result.exhausted,
+        "failure": failure,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+
+def merge_results(shards: Sequence[ExplorationResult], strategy: str,
+                  base_seed: int, workers: int,
+                  elapsed: float) -> ExplorationResult:
+    """Fold worker shard results into one campaign result.
+
+    The first failure is chosen deterministically: minimal global iteration
+    index (``failure.seed - base_seed``) for sampling strategies, shard order
+    for DFS — independent of worker count and scheduling jitter.
+    """
+    first = shards[0]
+    merged = ExplorationResult(
+        benchmark=first.benchmark, discipline=first.discipline,
+        strategy=strategy, seed=base_seed, threads=first.threads,
+        ops=first.ops, workers=workers)
+    hashes: set = set()
+    for shard in shards:
+        merged.schedules_run += shard.schedules_run
+        merged.completed += shard.completed
+        merged.stalls += shard.stalls
+        merged.pruned += shard.pruned
+        merged.por_skipped += shard.por_skipped
+        merged.oracle_hits += shard.oracle_hits
+        merged.oracle_misses += shard.oracle_misses
+        if shard.state_hashes:
+            hashes.update(shard.state_hashes)
+    if strategy == "dfs":
+        merged.distinct_states = len(hashes)
+        merged.exhausted = all(shard.exhausted for shard in shards)
+        merged.budget_exhausted = any(shard.budget_exhausted for shard in shards)
+        failures: List[Counterexample] = [
+            failure for shard in shards for failure in shard.failures]
+    else:
+        merged.distinct_states = max(shard.distinct_states for shard in shards)
+        failures = sorted(
+            (failure for shard in shards for failure in shard.failures),
+            key=lambda failure: failure.seed if failure.seed is not None else 0)
+    merged.failures = failures
+    merged.elapsed_seconds = elapsed
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+
+
+def _shard_bounds(budget: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(budget)`` into ``workers`` contiguous blocks."""
+    chunk, remainder = divmod(budget, workers)
+    bounds = []
+    start = 0
+    for index in range(workers):
+        size = chunk + (1 if index < remainder else 0)
+        if size == 0:
+            continue
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _dfs_root_prefixes(coop_class: type, programs, max_steps: int) -> List[Tuple[int, ...]]:
+    """The alternatives of the first branching decision (DFS shard roots)."""
+    probe = run_schedule(coop_class(), programs, FirstStrategy(), max_steps)
+    if not probe.decisions:
+        return []
+    first = probe.decisions[0]
+    return [(alternative,) for alternative in range(len(first.candidates))]
+
+
+def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
+                           strategy: str = "random", budget: int = 200,
+                           seed: int = 0, max_steps: int = 20_000,
+                           stop_on_failure: bool = True, minimize: bool = True,
+                           benchmark: str = "?", discipline: str = "?",
+                           por: bool = True,
+                           workers: Optional[int] = None) -> ExplorationResult:
+    """`explore_class`, sharded over a process pool.
+
+    Falls back to the sequential engine when one worker (or one shard) would
+    do all the work anyway.  The coop class must carry ``_coop_source`` (all
+    engine-built classes do) so workers can rebuild it without recompiling.
+    """
+    workers = workers or default_workers()
+    source = getattr(coop_class, "_coop_source", None)
+    if workers <= 1 or source is None:
+        return explore_class(monitor, coop_class, programs, strategy=strategy,
+                             budget=budget, seed=seed, max_steps=max_steps,
+                             stop_on_failure=stop_on_failure, minimize=minimize,
+                             benchmark=benchmark, discipline=discipline, por=por)
+    base_job = {
+        "class_source": source,
+        "class_name": coop_class.__name__,
+        "footprints": getattr(coop_class, "_coop_footprints", None),
+        "monitor": monitor,
+        "programs": [list(program) for program in programs],
+        "strategy": strategy,
+        "max_steps": max_steps,
+        "stop_on_failure": stop_on_failure,
+        "minimize": minimize,
+        "benchmark": benchmark,
+        "discipline": discipline,
+        "por": por,
+    }
+    jobs: List[dict] = []
+    if strategy == "dfs":
+        roots = _dfs_root_prefixes(coop_class, programs, max_steps)
+        if len(roots) < 2:
+            return explore_class(monitor, coop_class, programs, strategy=strategy,
+                                 budget=budget, seed=seed, max_steps=max_steps,
+                                 stop_on_failure=stop_on_failure,
+                                 minimize=minimize, benchmark=benchmark,
+                                 discipline=discipline, por=por)
+        root_slices = _shard_bounds(len(roots), min(workers, len(roots)))
+        # The --schedules budget caps *total* judged schedules, like the
+        # sequential path: split it across shards (each shard gets at least
+        # one schedule so every subtree is entered).
+        budget_sizes = [end - start
+                        for start, end in _shard_bounds(budget, len(root_slices))]
+        budget_sizes += [1] * (len(root_slices) - len(budget_sizes))
+        for (start, end), shard_budget in zip(root_slices, budget_sizes):
+            job = dict(base_job)
+            job["seed"] = seed
+            job["budget"] = max(shard_budget, 1)
+            job["dfs_prefixes"] = roots[start:end]
+            jobs.append(job)
+    else:
+        for start, end in _shard_bounds(budget, workers):
+            job = dict(base_job)
+            job["seed"] = seed + start
+            job["budget"] = end - start
+            jobs.append(job)
+    start_time = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+        shards = list(pool.map(_run_shard, jobs))
+    elapsed = time.perf_counter() - start_time
+    return merge_results(shards, strategy, seed, len(jobs), elapsed)
+
+
+def parallel_explore_benchmark(spec, discipline: str = "expresso",
+                               threads: int = 3, ops: int = 3, pipeline=None,
+                               workers: Optional[int] = None,
+                               **kwargs) -> ExplorationResult:
+    """`explore_benchmark`, sharded over a process pool."""
+    reference, coop_class = coop_monitor_and_class(spec, discipline, pipeline)
+    programs = spec.workload(threads, ops)
+    kwargs.setdefault("benchmark", spec.name)
+    kwargs.setdefault("discipline", discipline)
+    result = parallel_explore_class(reference, coop_class, programs,
+                                    workers=workers, **kwargs)
+    # Replay files feed this back to ``spec.workload``: record the workload
+    # parameter, not the derived program length.
+    result.ops = ops
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Mutation campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MutationReport:
+    """Outcome of a notification-deletion sweep over benchmark placements."""
+
+    threads: int
+    ops: int
+    budget: int
+    workers: int
+    elapsed_seconds: float = 0.0
+    mutants: List[dict] = field(default_factory=list)
+
+    @property
+    def caught(self) -> List[dict]:
+        return [m for m in self.mutants if m["status"] == "caught"]
+
+    @property
+    def survived(self) -> List[dict]:
+        return [m for m in self.mutants if m["status"] == "survived"]
+
+    @property
+    def benign(self) -> List[dict]:
+        return [m for m in self.mutants if m["status"] == "benign"]
+
+    @property
+    def ok(self) -> bool:
+        """Every mutant either yielded a counterexample or was *proven*
+        unobservable at this bound (exhausted without divergence); a mutant
+        that merely outlives the budget fails the campaign."""
+        return not self.survived
+
+    def to_dict(self) -> dict:
+        return {
+            "threads": self.threads,
+            "ops": self.ops,
+            "budget": self.budget,
+            "workers": self.workers,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "total": len(self.mutants),
+            "caught": len(self.caught),
+            "benign": len(self.benign),
+            "survived": len(self.survived),
+            "ok": self.ok,
+            "mutants": self.mutants,
+        }
+
+
+def mutation_campaign(specs, threads: int = 3, ops: int = 2,
+                      budget: int = 20_000, max_steps: int = 20_000,
+                      workers: Optional[int] = None, minimize: bool = True,
+                      pipeline=None) -> MutationReport:
+    """Drop every placed notification across *specs*; each must be detected.
+
+    Compilation (SMT) happens once per benchmark in the driver; workers only
+    exec mutant class sources and explore.  Uses DPOR DFS so small bounds
+    exhaust — a surviving mutant is then either *benign* (search exhausted:
+    the signal is unobservable under this workload bound) or a genuine
+    detection gap (``survived``), which fails the campaign.
+    """
+    from repro.harness.saturation import expresso_result
+    from repro.placement.pipeline import ExpressoPipeline
+
+    pipeline = pipeline if pipeline is not None else ExpressoPipeline()
+    workers = workers or default_workers()
+    jobs: List[dict] = []
+    for spec in specs:
+        compiled = expresso_result(spec, pipeline)
+        programs = [list(program) for program in spec.workload(threads, ops)]
+        for site in compiled.explicit.notification_sites():
+            jobs.append({
+                "benchmark": spec.name,
+                "site": list(site),
+                "mutant": compiled.explicit.without_notification(*site),
+                "monitor": compiled.monitor,
+                "programs": programs,
+                "budget": budget,
+                "max_steps": max_steps,
+                "minimize": minimize,
+            })
+    report = MutationReport(threads=threads, ops=ops, budget=budget,
+                            workers=workers)
+    start = time.perf_counter()
+    if workers <= 1:
+        report.mutants = [_run_mutant(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            report.mutants = list(pool.map(_run_mutant, jobs))
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

@@ -24,14 +24,29 @@ For exhaustive exploration the scheduler can fingerprint the global state
 (shared monitor fields plus, per thread, the generator frame's instruction
 pointer and local variables) at every grant decision; the DFS driver uses the
 fingerprints to prune schedules that re-enter an already-explored state.
+
+Three hot-path refinements keep systematic exploration cheap:
+
+* **incremental fingerprints** — per-thread frame snapshots are cached and
+  only recomputed for threads that actually advanced since the previous
+  fingerprint (between two grant decisions exactly one thread runs), so a
+  fingerprint costs one frame walk instead of N;
+* **prefix checkpointing** (``fingerprint_after``) — when the DFS replays a
+  recorded prefix to reach a backtrack point, decisions inside the prefix
+  were already fingerprinted by the parent run, so the replay skips all
+  analysis work until the divergent suffix begins;
+* **merge probing** (``merge_probe``) — the DFS can hand the scheduler a
+  membership probe over already-visited states; a run whose divergent suffix
+  immediately re-enters a visited state is cut off with outcome ``merged``
+  instead of executing (and judging) its entire redundant tail.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.explore.strategies import Strategy
+from repro.explore.strategies import AbortRun, Strategy
 
 #: One thread's program: a list of ``(method name, positional args)`` pairs.
 ThreadProgram = Sequence[Tuple[str, tuple]]
@@ -60,13 +75,21 @@ class Decision:
     candidates: Tuple[int, ...]    # thread ids, sorted
     chosen: int                    # index into candidates
     fingerprint: Optional[tuple] = None   # pre-decision state (grant only)
+    #: The method each candidate thread is currently executing, aligned with
+    #: ``candidates`` (grant decisions only; the POR layer derives candidate
+    #: footprints from these).
+    methods: Tuple[str, ...] = ()
+    #: Index into ``RunResult.events`` where this decision's effect lands —
+    #: the grant event it produced (grant) or the signal event (signal).
+    event_index: int = -1
 
 
 @dataclass
 class RunResult:
     """Everything one scheduled execution produced."""
 
-    outcome: str                               # completed | deadlock | step-limit | error
+    outcome: str                               # completed | deadlock | merged |
+                                               #   sleep-set | step-limit | error
     commits: List[Tuple[int, str]] = field(default_factory=list)
     events: List[TraceEvent] = field(default_factory=list)
     decisions: List[Decision] = field(default_factory=list)
@@ -133,19 +156,33 @@ def _frame_fingerprint(generator) -> tuple:
 
 
 class CoopScheduler:
-    """Run one coop monitor instance over per-thread programs under a strategy."""
+    """Run one coop monitor instance over per-thread programs under a strategy.
+
+    *fingerprint_after* skips fingerprinting (and merge probing) for the first
+    N recorded decisions — the DFS sets it to the replayed prefix length so a
+    backtracking replay only pays analysis cost on its divergent suffix.
+
+    *merge_probe* is consulted with every fresh fingerprint; returning True
+    means the state was already explored elsewhere and the run is cut off
+    with outcome ``merged`` (no decision is recorded for the merged state).
+    """
 
     def __init__(self, instance, programs: Sequence[ThreadProgram],
                  strategy: Strategy, max_steps: int = 20_000,
-                 fingerprints: bool = False):
+                 fingerprints: bool = False, fingerprint_after: int = 0,
+                 merge_probe: Optional[Callable[[tuple], bool]] = None):
         self.instance = instance
         self.strategy = strategy
         self.max_steps = max_steps
         self.fingerprints = fingerprints
+        self.fingerprint_after = fingerprint_after
+        self.merge_probe = merge_probe
         self.threads = [_VirtualThread(tid, program)
                         for tid, program in enumerate(programs)]
         self.owner: Optional[_VirtualThread] = None
         self.result = RunResult(outcome="error")
+        self._frame_cache: Dict[int, tuple] = {}
+        self._observe = getattr(strategy, "observe_grant", None)
 
     # -- public entry point ---------------------------------------------------
 
@@ -157,6 +194,8 @@ class CoopScheduler:
             self._loop()
         except SchedulerError:
             raise
+        except AbortRun as abort:  # the strategy pruned this run (sleep sets)
+            result.outcome = abort.outcome
         except Exception as exc:  # a generated-code bug is a finding, not a crash
             result.outcome = "error"
             result.error = f"{type(exc).__name__}: {exc}"
@@ -179,21 +218,32 @@ class CoopScheduler:
                 else:
                     result.outcome = "deadlock"
                 return
-            # Fingerprinting walks every generator frame — only pay for it
-            # when the grant actually branches (single contenders record no
-            # decision and need no pre-decision state).
-            fingerprint = (self._fingerprint()
-                           if self.fingerprints and len(contenders) > 1 else None)
+            # Fingerprinting walks the dirty generator frames — only pay for
+            # it when the grant actually branches (single contenders record no
+            # decision and need no pre-decision state) and the decision lies
+            # past the replayed prefix (the parent run already fingerprinted
+            # the prefix states).
+            fingerprint = None
+            if (self.fingerprints and len(contenders) > 1
+                    and len(result.decisions) >= self.fingerprint_after):
+                fingerprint = self._fingerprint()
+                if self.merge_probe is not None and self.merge_probe(fingerprint):
+                    result.outcome = "merged"
+                    return
             thread = contenders[self._choose(
-                "grant", tuple(t.tid for t in contenders), fingerprint)]
+                "grant", tuple(t.tid for t in contenders), fingerprint,
+                tuple(t.program[t.op_index][0] for t in contenders))]
             self.owner = thread
             method_name = thread.program[thread.op_index][0]
+            if self._observe is not None:
+                self._observe(thread.tid, method_name)
             result.events.append(TraceEvent("grant", thread.tid, label=method_name))
             self._run_holder(thread)
 
     def _run_holder(self, thread: _VirtualThread) -> None:
         """Advance *thread* (which holds the lock) until it waits or finishes."""
         result = self.result
+        self._frame_cache.pop(thread.tid, None)
         while True:
             result.steps += 1
             try:
@@ -240,7 +290,8 @@ class CoopScheduler:
     # -- helpers --------------------------------------------------------------
 
     def _choose(self, kind: str, candidates: Tuple[int, ...],
-                fingerprint: Optional[tuple]) -> int:
+                fingerprint: Optional[tuple],
+                methods: Tuple[str, ...] = ()) -> int:
         """Delegate a choice to the strategy, recording it when it branches."""
         if len(candidates) == 1:
             return 0
@@ -249,7 +300,8 @@ class CoopScheduler:
             raise SchedulerError(
                 f"strategy chose index {index} among {len(candidates)} candidates")
         self.result.decisions.append(
-            Decision(kind, candidates, index, fingerprint))
+            Decision(kind, candidates, index, fingerprint, methods,
+                     event_index=len(self.result.events)))
         return index
 
     def _wake(self, waker: _VirtualThread, key: str, broadcast: bool) -> None:
@@ -274,6 +326,7 @@ class CoopScheduler:
 
     def _advance_to_acquire(self, thread: _VirtualThread) -> None:
         """Start *thread*'s next operation, pausing at its first acquire."""
+        self._frame_cache.pop(thread.tid, None)
         while thread.op_index < len(thread.program):
             method_name, args = thread.program[thread.op_index]
             generator = getattr(self.instance, method_name)(*args)
@@ -292,22 +345,38 @@ class CoopScheduler:
         thread.status = "done"
 
     def _fingerprint(self) -> tuple:
-        """A hashable snapshot of the global state at a grant point."""
+        """A hashable snapshot of the global state at a grant point.
+
+        Frame snapshots are the expensive part (``f_locals`` materialization
+        per suspended generator); they are cached per thread and invalidated
+        only when the thread's frame actually advances, so between two grant
+        decisions just one thread's frame is re-walked.
+        """
         shared = tuple(sorted(
             (name, _freeze(value))
             for name, value in vars(self.instance).items()
             if not name.startswith("_") and name != "metrics"
         ))
-        threads = tuple(
-            (t.status, t.wait_key, t.op_index,
-             _frame_fingerprint(t.frame) if t.frame is not None else None)
-            for t in self.threads
-        )
-        return (shared, threads)
+        cache = self._frame_cache
+        threads = []
+        for t in self.threads:
+            if t.frame is None:
+                frame_fp = None
+            else:
+                frame_fp = cache.get(t.tid)
+                if frame_fp is None:
+                    frame_fp = _frame_fingerprint(t.frame)
+                    cache[t.tid] = frame_fp
+            threads.append((t.status, t.wait_key, t.op_index, frame_fp))
+        return (shared, tuple(threads))
 
 
 def run_schedule(instance, programs: Sequence[ThreadProgram], strategy: Strategy,
-                 max_steps: int = 20_000, fingerprints: bool = False) -> RunResult:
+                 max_steps: int = 20_000, fingerprints: bool = False,
+                 fingerprint_after: int = 0,
+                 merge_probe: Optional[Callable[[tuple], bool]] = None) -> RunResult:
     """Convenience wrapper: build a scheduler and run it to completion."""
     return CoopScheduler(instance, programs, strategy, max_steps,
-                         fingerprints=fingerprints).run()
+                         fingerprints=fingerprints,
+                         fingerprint_after=fingerprint_after,
+                         merge_probe=merge_probe).run()

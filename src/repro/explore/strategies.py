@@ -14,13 +14,38 @@ its recorded choice list in :class:`ScheduleStrategy`.
   randomly pre-drawn change points.  Finds deep ordering bugs with far fewer
   schedules than uniform random walks;
 * :class:`ScheduleStrategy` — replay a recorded (or delta-debugged) choice
-  list, falling back to a base strategy once the list is exhausted.
+  list, falling back to a base strategy once the list is exhausted;
+* :class:`DporStrategy` — the partial-order-reduction extension strategy:
+  replay a prefix, then extend with the first candidate *not in the sleep
+  set*, maintaining the sleep set as segments execute (a sleeping thread's
+  deferred action is removed once a dependent segment runs).
+
+The POR machinery at the bottom of the module defines *when two scheduling
+choices commute*: each monitor method gets a static :class:`MethodFootprint`
+(shared fields read/written, condition variables waited-on/signalled) and two
+enabled grant choices are independent exactly when neither footprint writes
+the other's read/write set and their condition-variable signal sets don't
+touch (sleepers are kept tid-sorted by the scheduler, so two threads merely
+*waiting* on the same condition do not conflict).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
+
+
+class AbortRun(Exception):
+    """Raised by a strategy to cut a run short (sleep-set redundancy).
+
+    The scheduler catches it and finishes the run with ``outcome`` — the run
+    is bookkept by the engine (``por_skipped``) but never judged.
+    """
+
+    def __init__(self, outcome: str):
+        super().__init__(outcome)
+        self.outcome = outcome
 
 
 class Strategy(Protocol):
@@ -104,6 +129,134 @@ class ScheduleStrategy:
             self._position += 1
             return min(max(choice, 0), len(candidates) - 1)
         return self.fallback.choose(kind, candidates)
+
+
+# ---------------------------------------------------------------------------
+# Partial-order reduction: footprints, independence, sleep sets
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodFootprint:
+    """The shared-state/condition-variable footprint of one monitor method.
+
+    ``reads``/``writes`` are shared field names (thread-local variables
+    cannot conflict across threads); ``waits``/``signals`` are condition-
+    variable tokens of the compiled class.  Footprints over-approximate the
+    whole method so they stay valid for a thread resuming mid-method after a
+    wakeup.
+    """
+
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
+    waits: FrozenSet[str]
+    signals: FrozenSet[str]
+
+
+def footprints_independent(a: MethodFootprint, b: MethodFootprint) -> bool:
+    """Do two pending segments commute regardless of order?
+
+    Writes may not touch the other side's reads or writes (the shared state
+    would differ between orders), and neither side may signal a condition the
+    other waits on or signals (a signal's woken-set depends on who is already
+    asleep / which signal fires first).  Two segments that merely *wait* on
+    the same condition stay independent: the scheduler keeps sleeper queues
+    tid-sorted, so arrival order is unobservable.
+    """
+    if a.writes & (b.reads | b.writes):
+        return False
+    if b.writes & (a.reads | a.writes):
+        return False
+    if a.signals & (b.waits | b.signals):
+        return False
+    if b.signals & (a.waits | a.signals):
+        return False
+    return True
+
+
+class IndependenceRelation:
+    """Pairwise method independence, precomputed from per-method footprints.
+
+    Built from a ``{method name: MethodFootprint}`` mapping (attached to
+    generated coop classes by the engine).  Methods without a footprint are
+    conservatively dependent on everything.
+    """
+
+    def __init__(self, footprints: Optional[Dict[str, MethodFootprint]]):
+        self.footprints = footprints or {}
+        self._table: Dict[Tuple[str, str], bool] = {}
+        names = sorted(self.footprints)
+        for a in names:
+            for b in names:
+                self._table[(a, b)] = footprints_independent(
+                    self.footprints[a], self.footprints[b])
+
+    def independent(self, method_a: str, method_b: str) -> bool:
+        return self._table.get((method_a, method_b), False)
+
+    @property
+    def trivial(self) -> bool:
+        """True when no pair commutes (POR degenerates to plain pruning)."""
+        return not any(self._table.values())
+
+
+#: A sleep-set entry: a deferred (thread id, pending method) transition.
+SleepEntry = Tuple[int, str]
+
+
+class DporStrategy:
+    """Prefix replay + sleep-set-aware extension for the DPOR DFS.
+
+    Replays *prefix* verbatim, then extends every fresh grant decision with
+    the first candidate whose thread is not in the sleep set.  While the
+    fresh suffix executes, the sleep set shrinks: a deferred transition is
+    woken (removed) as soon as a *dependent* segment runs, exactly the
+    classic sleep-set update.  If every enabled candidate is asleep — or the
+    scheduler grants a sleeping thread as sole contender — the whole subtree
+    is provably redundant and the run aborts with outcome ``sleep-set``.
+
+    The engine reads ``fresh_sleeps`` afterwards: the sleep set in force at
+    each recorded fresh decision, which it needs to seed the sleep sets of
+    the sibling prefixes it pushes.
+    """
+
+    def __init__(self, prefix: Sequence[int], sleep: FrozenSet[SleepEntry],
+                 independence: IndependenceRelation):
+        self.prefix = tuple(prefix)
+        self.sleep: Set[SleepEntry] = set(sleep)
+        self.independence = independence
+        self._position = 0
+        #: Sleep set snapshot per recorded decision index >= len(prefix).
+        self.fresh_sleeps: List[FrozenSet[SleepEntry]] = []
+
+    def choose(self, kind: str, candidates: Tuple[int, ...]) -> int:
+        if self._position < len(self.prefix):
+            choice = self.prefix[self._position]
+            self._position += 1
+            return min(max(choice, 0), len(candidates) - 1)
+        self._position += 1
+        self.fresh_sleeps.append(frozenset(self.sleep))
+        if kind != "grant":
+            return 0
+        asleep = {tid for tid, _method in self.sleep}
+        for index, tid in enumerate(candidates):
+            if tid not in asleep:
+                return index
+        raise AbortRun("sleep-set")
+
+    def observe_grant(self, tid: int, method: str) -> None:
+        """A segment by *tid*/*method* is about to run: update the sleep set."""
+        if self._position < len(self.prefix):
+            # Replayed prefix segments were already reflected in the sleep
+            # set this strategy was seeded with.
+            return
+        if any(entry_tid == tid for entry_tid, _m in self.sleep):
+            # The sole contender is asleep: this continuation re-explores a
+            # subtree some sibling already covered.
+            raise AbortRun("sleep-set")
+        independent = self.independence.independent
+        self.sleep = {entry for entry in self.sleep
+                      if independent(entry[1], method)}
 
 
 def make_strategy(name: str, seed: int, depth: int = 3,

@@ -139,7 +139,8 @@ def render_explore_table(results: Sequence) -> str:
     lines = [header, "-" * len(header)]
     lines.append("Benchmark".ljust(30) + "Discipline".ljust(12) + "Strategy".ljust(10)
                  + "Schedules".ljust(11) + "Sched/s".ljust(10)
-                 + "Completed".ljust(11) + "Stalls".ljust(8) + "Verdict")
+                 + "Completed".ljust(11) + "Stalls".ljust(8)
+                 + "Pruned".ljust(8) + "POR-skip".ljust(10) + "Verdict")
     failures = 0
     for result in results:
         verdict = "ok"
@@ -148,6 +149,8 @@ def render_explore_table(results: Sequence) -> str:
             verdict = ", ".join(sorted({f.kind for f in result.failures}))
         if result.exhausted:
             verdict += " (exhausted)"
+        elif getattr(result, "budget_exhausted", False):
+            verdict += " (budget)"
         lines.append(
             result.benchmark.ljust(30)
             + result.discipline.ljust(12)
@@ -156,6 +159,8 @@ def render_explore_table(results: Sequence) -> str:
             + f"{result.schedules_per_second:.0f}".ljust(10)
             + str(result.completed).ljust(11)
             + str(result.stalls).ljust(8)
+            + str(result.pruned).ljust(8)
+            + str(getattr(result, "por_skipped", 0)).ljust(10)
             + verdict
         )
     lines.append("-" * len(header))
