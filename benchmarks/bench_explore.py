@@ -29,16 +29,22 @@ from repro.explore.parallel import parallel_explore_class
 _BUDGET = int(os.environ.get("REPRO_EXPLORE_BUDGET", "200"))
 
 _BENCHMARKS = ("BoundedBuffer", "Readers-Writers", "PendingPostQueue")
-_STRATEGIES = ("random", "pct", "dfs-plain", "dfs-por")
+_STRATEGIES = ("random", "pct", "dfs-plain", "dfs-syn", "dfs-por")
 
 
 def _campaign_args(strategy):
-    """(engine strategy, por flag) for a cell id."""
+    """(engine strategy, por flag, semantic flag) for a cell id.
+
+    ``dfs-syn`` is the PR 3 syntactic-DPOR baseline; ``dfs-por`` the full
+    semantic configuration.
+    """
     if strategy == "dfs-plain":
-        return "dfs", False
+        return "dfs", False, False
+    if strategy == "dfs-syn":
+        return "dfs", True, False
     if strategy == "dfs-por":
-        return "dfs", True
-    return strategy, True
+        return "dfs", True, True
+    return strategy, True, True
 
 
 try:
@@ -59,7 +65,7 @@ if pytest is not None:
         """Schedules/second of one exploration campaign (compile excluded)."""
         spec = get_benchmark(name)
         monitor, coop_class = coop_monitor_and_class(spec, "expresso")
-        engine_strategy, por = _campaign_args(strategy)
+        engine_strategy, por, semantic = _campaign_args(strategy)
         # DFS on a small configuration (it exhausts), sampling on a bigger one.
         threads, ops = (2, 2) if engine_strategy == "dfs" else (4, 3)
         programs = spec.workload(threads, ops)
@@ -67,7 +73,8 @@ if pytest is not None:
         def campaign():
             return explore_class(monitor, coop_class, programs,
                                  strategy=engine_strategy, budget=_BUDGET,
-                                 seed=0, minimize=False, por=por)
+                                 seed=0, minimize=False, por=por,
+                                 semantic=semantic, symmetry=semantic)
 
         result = benchmark.pedantic(campaign, iterations=1, rounds=3)
         assert result.ok, result.failures
@@ -92,6 +99,7 @@ def _result_summary(result) -> dict:
         "schedules_run": result.schedules_run,
         "pruned": result.pruned,
         "por_skipped": result.por_skipped,
+        "symmetry_skipped": result.symmetry_skipped,
         "distinct_states": result.distinct_states,
         "exhausted": result.exhausted,
         "budget_exhausted": result.budget_exhausted,
@@ -103,33 +111,88 @@ def _result_summary(result) -> dict:
 
 
 def _measure_reduction(suite, threads, ops, budget) -> dict:
-    """Plain-DFS vs DPOR-DFS over the bounded suite."""
+    """Plain DFS vs syntactic DPOR vs semantic DPOR over the bounded suite.
+
+    ``syntactic`` reproduces the PR 3 baseline (footprint independence only,
+    no symmetry); ``por`` is the full semantic configuration (SMT-proven
+    independence matrix, value-sensitive checks, wake-order symmetry).
+    """
     rows = []
-    total_plain = total_por = 0
+    total_plain = total_syntactic = total_por = 0
     for name in suite:
         spec = get_benchmark(name)
         monitor, coop_class = coop_monitor_and_class(spec, "expresso")
         programs = spec.workload(threads, ops)
         plain = explore_class(monitor, coop_class, programs, strategy="dfs",
                               budget=budget, minimize=False, por=False)
+        syntactic = explore_class(monitor, coop_class, programs, strategy="dfs",
+                                  budget=budget, minimize=False, por=True,
+                                  semantic=False, symmetry=False)
         por = explore_class(monitor, coop_class, programs, strategy="dfs",
                             budget=budget, minimize=False, por=True)
         total_plain += plain.schedules_run
+        total_syntactic += syntactic.schedules_run
         total_por += por.schedules_run
         rows.append({
             "benchmark": name,
             "threads": threads,
             "ops": ops,
             "plain": _result_summary(plain),
+            "syntactic": _result_summary(syntactic),
             "por": _result_summary(por),
             "reduction_ratio": round(
                 plain.schedules_run / max(por.schedules_run, 1), 2),
+            "semantic_ratio": round(
+                syntactic.schedules_run / max(por.schedules_run, 1), 2),
         })
     return {
         "rows": rows,
         "total_plain_schedules": total_plain,
+        "total_syntactic_schedules": total_syntactic,
         "total_por_schedules": total_por,
         "aggregate_reduction_ratio": round(total_plain / max(total_por, 1), 2),
+        "aggregate_semantic_ratio": round(
+            total_syntactic / max(total_por, 1), 2),
+    }
+
+
+def _measure_shared_store(suite, threads, ops, budget, workers) -> dict:
+    """Sharded DFS campaigns: PR 3 regime (private shard memos, syntactic
+    POR) vs the shared cross-worker visited-state store with semantic POR."""
+    from repro.explore.parallel import parallel_explore_class
+
+    rows = []
+    total_private = total_shared = 0
+    for name in suite:
+        spec = get_benchmark(name)
+        monitor, coop_class = coop_monitor_and_class(spec, "expresso")
+        programs = spec.workload(threads, ops)
+        kwargs = dict(strategy="dfs", budget=budget, minimize=False,
+                      stop_on_failure=False, workers=workers, benchmark=name)
+        private = parallel_explore_class(monitor, coop_class, programs,
+                                         semantic=False, symmetry=False,
+                                         share_states=False, **kwargs)
+        shared = parallel_explore_class(monitor, coop_class, programs, **kwargs)
+        total_private += private.schedules_run
+        total_shared += shared.schedules_run
+        rows.append({
+            "benchmark": name,
+            "threads": threads,
+            "ops": ops,
+            "workers": workers,
+            "private_schedules": private.schedules_run,
+            "shared_schedules": shared.schedules_run,
+            "shared_hits": shared.shared_hits,
+            "exhausted": private.exhausted and shared.exhausted,
+            "reduction_ratio": round(
+                private.schedules_run / max(shared.schedules_run, 1), 2),
+        })
+    return {
+        "rows": rows,
+        "total_private_schedules": total_private,
+        "total_shared_schedules": total_shared,
+        "aggregate_reduction_ratio": round(
+            total_private / max(total_shared, 1), 2),
     }
 
 
@@ -214,6 +277,9 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "reduction": _measure_reduction(suite, args.threads, args.ops,
                                         args.budget),
+        "shared_store": _measure_shared_store(suite, args.threads, args.ops,
+                                              args.budget,
+                                              min(args.workers, 3)),
         "sampling": _measure_sampling(_BENCHMARKS, 4, 3,
                                       args.sampling_budget, args.workers),
         "four_thread": _measure_four_thread(args.four_thread_budget),
@@ -223,7 +289,10 @@ def main(argv=None) -> int:
         json.dump(document, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.out}: "
-          f"{document['reduction']['aggregate_reduction_ratio']}x POR reduction, "
+          f"{document['reduction']['aggregate_reduction_ratio']}x POR reduction "
+          f"({document['reduction']['aggregate_semantic_ratio']}x semantic over "
+          f"syntactic), "
+          f"{document['shared_store']['aggregate_reduction_ratio']}x sharded, "
           f"4-thread exhausted={document['four_thread']['por']['exhausted']}, "
           f"{document['wall_seconds']}s")
     return 0

@@ -1,0 +1,137 @@
+"""Maintain BENCH_history.md: the committed per-PR perf trend table.
+
+Two modes:
+
+* ``--append LABEL`` — read BENCH_explore.json (and BENCH_compile.json when
+  present) and append one row to BENCH_history.md.  Run manually when a PR
+  lands a perf-relevant change; the row is committed with the PR so the
+  trajectory survives CI artifact expiry.
+* ``--check`` — read a freshly produced BENCH_explore.json and compare its
+  reduction ratios against the *last committed row*; exit non-zero when the
+  plain-vs-reduced ratio regressed by more than ``--tolerance`` (default
+  20%).  The nightly CI job runs this so a silent POR regression fails the
+  build instead of hiding in an artifact.
+
+Columns: judged-schedule totals for plain enumeration and the default
+(semantic) DPOR, the plain/semantic and syntactic/semantic reduction ratios,
+the cross-worker shared-store ratio, aggregate schedules/sec of the reduced
+campaigns, and the suite compile time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HEADER = (
+    "| label | plain | reduced | reduction | semantic | shared-store "
+    "| sched/s | compile (s) |"
+)
+SEPARATOR = (
+    "|-------|-------|---------|-----------|----------|--------------"
+    "|---------|-------------|"
+)
+
+
+def _row_from_documents(label: str, explore: dict, compile_doc: dict | None) -> str:
+    reduction = explore["reduction"]
+    shared = explore.get("shared_store", {})
+    elapsed = sum(row["por"]["elapsed_seconds"] for row in reduction["rows"])
+    schedules_per_second = (
+        reduction["total_por_schedules"] / elapsed if elapsed else 0.0)
+    compile_seconds = (
+        compile_doc.get("total_compile_seconds") if compile_doc else None)
+    return (
+        f"| {label} "
+        f"| {reduction['total_plain_schedules']} "
+        f"| {reduction['total_por_schedules']} "
+        f"| {reduction['aggregate_reduction_ratio']}x "
+        f"| {reduction.get('aggregate_semantic_ratio', '-')}x "
+        f"| {shared.get('aggregate_reduction_ratio', '-')}x "
+        f"| {schedules_per_second:.0f} "
+        f"| {compile_seconds if compile_seconds is not None else '-'} |"
+    )
+
+
+def _last_row(history_path: Path) -> dict | None:
+    """Parse the last data row of the committed trend table."""
+    if not history_path.exists():
+        return None
+    rows = [line for line in history_path.read_text().splitlines()
+            if line.startswith("|") and not line.startswith("|-")
+            and not line.startswith("| label")]
+    if not rows:
+        return None
+    cells = [cell.strip() for cell in rows[-1].strip("|").split("|")]
+    try:
+        return {
+            "label": cells[0],
+            "plain": int(cells[1]),
+            "reduced": int(cells[2]),
+            "reduction": float(cells[3].rstrip("x")),
+        }
+    except (IndexError, ValueError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("explore_json", nargs="?", default="BENCH_explore.json",
+                        help="path to BENCH_explore.json (default: ./)")
+    parser.add_argument("--compile-json", default="BENCH_compile.json",
+                        help="path to BENCH_compile.json (optional input)")
+    parser.add_argument("--history", default=str(
+        Path(__file__).resolve().parent.parent / "BENCH_history.md"),
+        help="trend table path (default: repo root BENCH_history.md)")
+    parser.add_argument("--append", metavar="LABEL", default=None,
+                        help="append one row labelled LABEL")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the reduction ratio regressed vs the "
+                             "last committed row")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression for --check "
+                             "(default: 0.20)")
+    args = parser.parse_args(argv)
+    if bool(args.append) == args.check:
+        parser.error("pass exactly one of --append LABEL or --check")
+
+    explore = json.loads(Path(args.explore_json).read_text())
+    compile_doc = None
+    compile_path = Path(args.compile_json)
+    if compile_path.exists():
+        compile_doc = json.loads(compile_path.read_text())
+
+    history_path = Path(args.history)
+    if args.append:
+        row = _row_from_documents(args.append, explore, compile_doc)
+        if history_path.exists():
+            text = history_path.read_text().rstrip("\n")
+        else:
+            text = ("# Exploration/compile perf trend\n\n"
+                    "One committed row per perf-relevant PR "
+                    "(see benchmarks/bench_history.py).\n\n"
+                    f"{HEADER}\n{SEPARATOR}")
+        history_path.write_text(text + "\n" + row + "\n")
+        print(f"appended to {history_path}:\n{row}")
+        return 0
+
+    baseline = _last_row(history_path)
+    if baseline is None:
+        print(f"{history_path} has no rows to check against; passing")
+        return 0
+    current = explore["reduction"]["aggregate_reduction_ratio"]
+    floor = baseline["reduction"] * (1.0 - args.tolerance)
+    print(f"reduction ratio: current {current}x, last committed "
+          f"{baseline['reduction']}x ({baseline['label']}), floor {floor:.2f}x")
+    if current < floor:
+        print("FAIL: partial-order reduction regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

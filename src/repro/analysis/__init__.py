@@ -15,7 +15,14 @@ from repro.analysis.wp import weakest_precondition
 from repro.analysis.hoare import HoareTriple, check_triple
 from repro.analysis.renaming import rename_thread_locals, renamed_copy
 from repro.analysis.symexec import symbolic_execute, SymbolicState, SymbolicExecutionError
-from repro.analysis.commutativity import bodies_commute, ccr_commutes_with_all
+from repro.analysis.commutativity import (
+    bodies_commute,
+    calls_semantically_independent,
+    ccr_commutes_with_all,
+    methods_semantically_independent,
+    segments_semantically_independent,
+    semantic_independence_for_explicit,
+)
 from repro.analysis.abduction import abduce, AbductionResult
 from repro.analysis.invariants import infer_monitor_invariant, InvariantInferenceResult
 
@@ -24,7 +31,10 @@ __all__ = [
     "HoareTriple", "check_triple",
     "rename_thread_locals", "renamed_copy",
     "symbolic_execute", "SymbolicState", "SymbolicExecutionError",
-    "bodies_commute", "ccr_commutes_with_all",
+    "bodies_commute", "calls_semantically_independent",
+    "ccr_commutes_with_all",
+    "methods_semantically_independent", "segments_semantically_independent",
+    "semantic_independence_for_explicit",
     "abduce", "AbductionResult",
     "infer_monitor_invariant", "InvariantInferenceResult",
 ]

@@ -135,7 +135,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "(default: 1 = in-process)")
     explore_cmd.add_argument("--no-por", dest="por", action="store_false",
                              help="disable partial-order reduction for the "
-                                  "dfs strategy (plain PR-2 enumeration)")
+                                  "dfs strategy (plain enumeration; also "
+                                  "disables semantic POR and symmetry)")
+    explore_cmd.add_argument("--no-semantic-por", dest="semantic",
+                             action="store_false",
+                             help="ignore the SMT-proven semantic independence "
+                                  "matrix and value-sensitive checks (fall "
+                                  "back to syntactic footprints only)")
+    explore_cmd.add_argument("--no-symmetry", dest="symmetry",
+                             action="store_false",
+                             help="disable wake-order canonicalization and "
+                                  "symmetric-state merging")
     explore_cmd.add_argument("--replay", metavar="FILE", default=None,
                              help="re-run schedules from a JSON file written "
                                   "by --json (or a minimal "
@@ -372,13 +382,14 @@ def _cmd_explore(args) -> int:
                 spec, args.discipline, threads=args.threads, ops=args.ops,
                 strategy=args.strategy, budget=args.schedules, seed=args.seed,
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
-                por=args.por, workers=args.workers))
+                por=args.por, semantic=args.semantic, symmetry=args.symmetry,
+                workers=args.workers))
         else:
             results.append(explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
                 strategy=args.strategy, budget=args.schedules, seed=args.seed,
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
-                por=args.por))
+                por=args.por, semantic=args.semantic, symmetry=args.symmetry))
     ok = all(result.ok for result in results)
     if args.json:
         print(json.dumps({"results": [result.to_dict() for result in results],

@@ -95,8 +95,37 @@ _MODULE_PREAMBLE = [
 # ---------------------------------------------------------------------------
 
 
+def _frozenset_literal(values) -> str:
+    if not values:
+        return "frozenset()"
+    return "frozenset({" + ", ".join(repr(v) for v in sorted(values)) + "})"
+
+
+def _footprints_literal(footprints: Dict) -> List[str]:
+    """Source lines for a ``_coop_footprints`` class attribute (sorted, stable)."""
+    lines = ["    _coop_footprints = {"]
+    for name in sorted(footprints):
+        fp = footprints[name]
+        lines.append(
+            f"        {name!r}: MethodFootprint("
+            f"{_frozenset_literal(fp.reads)}, {_frozenset_literal(fp.writes)}, "
+            f"{_frozenset_literal(fp.waits)}, {_frozenset_literal(fp.signals)}),")
+    lines.append("    }")
+    return lines
+
+
+def _semantic_literal(semantic: Dict) -> List[str]:
+    """Source lines for a ``_coop_semantic`` class attribute (sorted, stable)."""
+    lines = ["    _coop_semantic = {"]
+    for pair in sorted(semantic):
+        lines.append(f"        {pair!r}: {semantic[pair]!r},")
+    lines.append("    }")
+    return lines
+
+
 def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str] = None,
-                             coop: bool = False) -> str:
+                             coop: bool = False, footprints: Optional[Dict] = None,
+                             semantic: Optional[Dict] = None) -> str:
     """Generate an explicit-signal monitor class from a placed monitor.
 
     With ``coop=True`` the emitted methods are *generator functions* targeting
@@ -106,16 +135,30 @@ def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str
     every synchronization point plus ``("commit", label)`` right before each
     CCR body, so the exploration engine controls every interleaving and the
     differential oracle can replay the commit order.
+
+    *footprints* (``{method: MethodFootprint}``) and *semantic* (the
+    SMT-proven method-pair independence matrix) are emitted as class
+    attributes of coop classes, so parallel workers that rebuild the class
+    from shipped source inherit the partial-order-reduction metadata without
+    re-running any analysis.
     """
     class_name = class_name or f"{explicit.name}Explicit"
     field_names = _field_names(explicit.fields)
     guard_vars = {guard: name for guard, name in explicit.condition_vars}
 
     lines: List[str] = list(_MODULE_PREAMBLE)
+    if coop and footprints is not None:
+        lines.insert(-2, "from repro.explore.strategies import MethodFootprint")
     lines.append(f"class {class_name}:")
     flavour = "cooperative explicit-signal" if coop else "explicit-signal"
     lines.append(f'    """{flavour.capitalize()} monitor for {explicit.name} (generated)."""')
     lines.append("")
+    if coop and footprints is not None:
+        lines.extend(_footprints_literal(footprints))
+    if coop and semantic is not None:
+        lines.extend(_semantic_literal(semantic))
+    if coop and (footprints is not None or semantic is not None):
+        lines.append("")
     lines.append("    def __init__(self):")
     if not coop:
         lines.append("        self._lock = threading.Lock()")

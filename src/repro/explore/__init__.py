@@ -22,6 +22,8 @@ from repro.explore.engine import (
     STRATEGIES,
     Counterexample,
     ExplorationResult,
+    SegmentRefiner,
+    ValueIndependence,
     coop_class_for_explicit,
     coop_monitor_and_class,
     explore_benchmark,
@@ -29,10 +31,12 @@ from repro.explore.engine import (
     explore_explicit,
     footprints_for_explicit,
     replay_schedule,
+    wait_info_for_explicit,
 )
 from repro.explore.oracle import OracleCache, OracleVerdict, ReferenceReplay, check_run
 from repro.explore.parallel import (
     MutationReport,
+    SharedStateStore,
     merge_results,
     mutation_campaign,
     parallel_explore_benchmark,

@@ -66,6 +66,7 @@ from repro.lang.ast import (
     stmt_assigned_vars,
 )
 from repro.logic import TRUE
+from repro.logic.evaluate import EvaluationError, evaluate
 from repro.logic.free_vars import free_vars
 from repro.placement.target import ExplicitMonitor
 
@@ -146,18 +147,216 @@ def footprints_for_explicit(explicit: ExplicitMonitor) -> Dict[str, MethodFootpr
     return footprints
 
 
+def wait_info_for_explicit(explicit: ExplicitMonitor) -> dict:
+    """Guard metadata for the context-sensitive segment refinement.
+
+    ``conds`` maps condition keys to the guard expressions threads sleep on;
+    ``entry`` maps each method to its first CCR's (condition key, guard,
+    parameter names) when that guard is non-trivial — enough for the DPOR
+    layer to evaluate, against a recorded decision state, whether granting a
+    candidate would merely evaluate its guard and go to sleep.
+    """
+    cond_of = {guard: name for guard, name in explicit.condition_vars}
+    entry: Dict[str, Optional[tuple]] = {}
+    for method in explicit.methods:
+        first = method.ccrs[0] if method.ccrs else None
+        cond = cond_of.get(first.guard) if first is not None else None
+        if first is not None and first.guard != TRUE and cond is not None:
+            entry[method.name] = (cond, first.guard,
+                                  tuple(p.name for p in method.params))
+        else:
+            entry[method.name] = None
+    return {
+        "fields": frozenset(decl.name for decl in explicit.fields),
+        "conds": {name: guard for guard, name in explicit.condition_vars},
+        "entry": entry,
+    }
+
+
+class SegmentRefiner:
+    """Context-sensitive footprint refinement for grant decisions.
+
+    A thread whose guard is false in the decision state does not run its
+    method body — it evaluates the guard and goes to sleep.  That *wait
+    entry* segment reads the guard's fields, waits on one condition, writes
+    nothing and signals nothing, so it commutes with far more than the
+    whole-method footprint suggests ("who blocks first" orders collapse).
+
+    Two sources of refinement, both exact rather than over-approximate:
+
+    * **executed segments** — a grant event immediately followed by the same
+      thread's wait event ran nothing but the guard evaluation;
+    * **pending candidates** — the recorded pre-decision fingerprint carries
+      the shared state, the decision carries each candidate's program
+      position and resume condition, and guards are concretely evaluable
+      (:mod:`repro.logic.evaluate`) whenever their free variables are fields
+      plus the call's own parameters.
+    """
+
+    def __init__(self, coop_class: type, programs):
+        info = getattr(coop_class, "_coop_wait_info", None)
+        self.enabled = bool(info)
+        if not self.enabled:
+            return
+        self.fields: frozenset = info["fields"]
+        self.conds: Dict[str, object] = info["conds"]
+        self.entry: Dict[str, Optional[tuple]] = info["entry"]
+        self.programs = [list(program) for program in programs]
+        self._wait_footprints: Dict[str, Optional[MethodFootprint]] = {}
+        self._guard_vars: Dict[str, frozenset] = {}
+
+    def wait_footprint(self, key: str) -> Optional[MethodFootprint]:
+        """The footprint of "evaluate *key*'s guard and sleep on it"."""
+        if key not in self._wait_footprints:
+            guard = self.conds.get(key)
+            if guard is None:
+                self._wait_footprints[key] = None
+            else:
+                reads = frozenset(
+                    var.name for var in free_vars(guard)
+                    if var.name in self.fields)
+                self._wait_footprints[key] = MethodFootprint(
+                    reads, frozenset(), frozenset({key}), frozenset())
+        return self._wait_footprints[key]
+
+    def executed(self, run, event_index: int) -> Optional[MethodFootprint]:
+        """Refined footprint of the segment behind an executed grant event.
+
+        Only the guard ran when the very next event is the granted thread's
+        own wait — commits, signals and releases all produce events first.
+        """
+        if not self.enabled:
+            return None
+        events = run.events
+        follower = events[event_index + 1] if event_index + 1 < len(events) else None
+        if (follower is not None and follower.kind == "wait"
+                and follower.thread == events[event_index].thread):
+            return self.wait_footprint(follower.key)
+        return None
+
+    def pending(self, decision: Decision, index: int) -> Optional[MethodFootprint]:
+        """Refined footprint of a decision candidate, or None for full method."""
+        key = self.pending_wait_key(decision, index)
+        return self.wait_footprint(key) if key is not None else None
+
+    def pending_wait_key(self, decision: Decision, index: int) -> Optional[str]:
+        """The condition a candidate would provably sleep on, or None."""
+        if (not self.enabled or decision.fingerprint is None
+                or not decision.op_indices):
+            return None
+        resume = decision.resumes[index] if decision.resumes else None
+        env: Dict[str, object] = {}
+        if resume is not None:
+            guard = self.conds.get(resume)
+            key = resume
+        else:
+            entry = self.entry.get(decision.methods[index])
+            if entry is None:
+                return None
+            key, guard, params = entry
+            tid = decision.candidates[index]
+            op_index = decision.op_indices[index]
+            if tid >= len(self.programs) or op_index >= len(self.programs[tid]):
+                return None
+            args = self.programs[tid][op_index][1]
+            env.update(zip(params, args))
+        if guard is None:
+            return None
+        # Fingerprint entries are keyed by *attribute* name (dots mangled to
+        # underscores); opaque values froze to None and must not silently
+        # satisfy comparisons, so they stay unbound and trip EvaluationError.
+        shared = dict(decision.fingerprint[0])
+        for field in self.fields:
+            value = shared.get(field.replace(".", "_"))
+            if value is not None:
+                env.setdefault(field, value)
+        try:
+            holds = evaluate(guard, env)
+        except (EvaluationError, TypeError):
+            return None
+        if holds:
+            return None  # the guard passes: the body runs, keep full method
+        return key if self.wait_footprint(key) is not None else None
+
+
+class ValueIndependence:
+    """Value-sensitive independence: SMT checks at concrete call arguments.
+
+    The ROADMAP's value-sensitive item — the exploration-time counterpart of
+    the symbolic matrix.  Two calls whose fully symbolic methods conflict may
+    still commute at the *specific arguments* a workload passes (e.g. two
+    ``putDown`` calls of adjacent philosophers both reset the shared fork to
+    the same value).  Verdicts are memoized per campaign and below that in
+    the solver's :class:`~repro.smt.cache.FormulaCache`, so each distinct
+    (method, args) pair costs at most one round of solver queries per
+    process.  Condition-variable compatibility is still gated syntactically
+    on the (mutant-accurate) footprints.
+    """
+
+    def __init__(self, explicit, relation: IndependenceRelation):
+        self.explicit = explicit
+        self.relation = relation
+        self.shared = frozenset(decl.name for decl in explicit.fields)
+        self._methods = {method.name: method for method in explicit.methods}
+        self._cache: Dict[tuple, bool] = {}
+
+    def independent(self, method_a: str, args_a, method_b: str, args_b) -> bool:
+        from repro.analysis.commutativity import calls_semantically_independent
+        from repro.explore.strategies import condition_vars_compatible
+
+        fp_a = self.relation.footprints.get(method_a)
+        fp_b = self.relation.footprints.get(method_b)
+        if fp_a is None or fp_b is None:
+            return False
+        if not condition_vars_compatible(fp_a, fp_b, allow_shared_signals=True):
+            return False
+        key = (method_a, tuple(args_a), method_b, tuple(args_b))
+        if key[:2] > key[2:]:
+            key = key[2:] + key[:2]
+        verdict = self._cache.get(key)
+        if verdict is None:
+            decl_a = self._methods.get(method_a)
+            decl_b = self._methods.get(method_b)
+            verdict = (decl_a is not None and decl_b is not None
+                       and calls_semantically_independent(
+                           decl_a, tuple(args_a), decl_b, tuple(args_b),
+                           self.shared))
+            self._cache[key] = verdict
+        return verdict
+
+
 # ---------------------------------------------------------------------------
 # Coop-class construction
 # ---------------------------------------------------------------------------
 
 
 def coop_class_for_explicit(explicit: ExplicitMonitor,
-                            class_name: str = "CoopMonitor") -> type:
-    """Materialize the scheduler-targeting class for a placed monitor."""
-    source = generate_python_explicit(explicit, class_name=class_name, coop=True)
+                            class_name: str = "CoopMonitor",
+                            solver=None) -> type:
+    """Materialize the scheduler-targeting class for a placed monitor.
+
+    Both reduction artifacts — the syntactic per-method footprints and the
+    SMT-proven semantic-independence matrix — are computed here and *emitted
+    into the generated source* as class attributes, so parallel workers that
+    rebuild the class from shipped source inherit them without re-running
+    any analysis.  *solver* optionally reuses a caller's (cached) solver for
+    the commutativity queries; by default the commutativity module's shared
+    solver memoizes verdicts across every class built in the process.
+    """
+    from repro.analysis.commutativity import semantic_independence_for_explicit
+
+    footprints = footprints_for_explicit(explicit)
+    semantic = semantic_independence_for_explicit(explicit, solver=solver)
+    source = generate_python_explicit(explicit, class_name=class_name, coop=True,
+                                      footprints=footprints, semantic=semantic)
     cls = materialize_class(source, class_name)
-    cls._coop_footprints = footprints_for_explicit(explicit)
     cls._coop_source = source
+    # AST-bearing artifacts cannot be embedded in source text; parallel
+    # drivers ship them alongside the source (they pickle like the monitor
+    # AST).  ``_coop_explicit`` feeds the value-sensitive independence
+    # checks, ``_coop_wait_info`` the wait-entry refinement.
+    cls._coop_wait_info = wait_info_for_explicit(explicit)
+    cls._coop_explicit = explicit
     return cls
 
 
@@ -253,6 +452,12 @@ class ExplorationResult:
     stalls: int = 0
     pruned: int = 0
     por_skipped: int = 0
+    #: Wake/grant alternatives collapsed because they were provably symmetric
+    #: to an explored sibling (same frame, arguments and remaining program).
+    symmetry_skipped: int = 0
+    #: Merge-probe hits against *another* shard's visited states (only
+    #: non-zero when a cross-worker shared state store is in play).
+    shared_hits: int = 0
     distinct_states: int = 0
     exhausted: bool = False
     budget_exhausted: bool = False
@@ -288,6 +493,8 @@ class ExplorationResult:
             "stalls": self.stalls,
             "pruned": self.pruned,
             "por_skipped": self.por_skipped,
+            "symmetry_skipped": self.symmetry_skipped,
+            "shared_hits": self.shared_hits,
             "distinct_states": self.distinct_states,
             "exhausted": self.exhausted,
             "budget_exhausted": self.budget_exhausted,
@@ -434,39 +641,74 @@ def _explore_dfs_plain(monitor, coop_class, programs, outcome: ExplorationResult
     outcome.budget_exhausted = bool(stack)
 
 
-def _commutes_past(run: RunResult, decision: Decision, tid: int, method: str,
-                   independence: IndependenceRelation) -> bool:
-    """Does deferring thread *tid*'s pending segment commute with the run?
+def _commutes_past(run: RunResult, decision: Decision, alternative: int,
+                   independence: IndependenceRelation,
+                   refiner: Optional[SegmentRefiner],
+                   values: Optional[ValueIndependence] = None,
+                   programs=None) -> bool:
+    """Does deferring the *alternative* candidate's segment commute with the run?
 
-    The DPOR backtrack filter: the sibling choice "grant *tid* now" needs no
-    exploration when every segment the run executed between this decision and
-    *tid*'s own next grant is independent of *tid*'s pending method — the two
-    orders reach the same state through equivalent (Mazurkiewicz-equal)
-    traces, and the run already covers the canonical one.  Truncated runs
-    where *tid* never ran again answer conservatively False.
+    The DPOR backtrack filter: the sibling choice "grant this thread now"
+    needs no exploration when every segment the run executed between this
+    decision and the thread's own next grant is independent of its pending
+    segment — the two orders reach the same state through equivalent
+    (Mazurkiewicz-equal) traces, and the run already covers the canonical
+    one.  Truncated runs where the thread never ran again answer
+    conservatively False.
+
+    Independence is consulted per *segment* when the refiner can prove a
+    side is a pure wait entry (guard evaluation + sleep), and per method
+    otherwise; the pending-side refinement is anchored at the decision state
+    and stays valid along the scan because every independent executed
+    segment leaves the guard's fields untouched.
     """
+    tid = decision.candidates[alternative]
+    method = decision.methods[alternative]
+    pending_fp = refiner.pending(decision, alternative) if refiner else None
+    pending_args = None
+    if values is not None and programs is not None and decision.op_indices:
+        op_index = decision.op_indices[alternative]
+        if tid < len(programs) and op_index < len(programs[tid]):
+            pending_args = programs[tid][op_index][1]
     # events[event_index] is the chosen thread's own grant: the scan starts
     # there so the chosen segment itself is dependence-checked too.
-    for event in run.events[decision.event_index:]:
+    for event_index in range(decision.event_index, len(run.events)):
+        event = run.events[event_index]
         if event.kind != "grant":
             continue
         if event.thread == tid:
             return True
-        if not independence.independent(method, event.label):
-            return False
+        executed_fp = refiner.executed(run, event_index) if refiner else None
+        if independence.segment_independent(method, pending_fp,
+                                            event.label, executed_fp):
+            continue
+        if (pending_args is not None
+                and values.independent(method, pending_args,
+                                       event.label, event.args)):
+            continue
+        return False
     return False
 
 
 def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
                  strategy: DporStrategy, stack: list,
                  independence: IndependenceRelation,
-                 outcome: ExplorationResult) -> None:
+                 outcome: ExplorationResult,
+                 refiner: Optional[SegmentRefiner] = None,
+                 values: Optional[ValueIndependence] = None,
+                 programs=None) -> None:
     """Push the non-redundant sibling prefixes of one DPOR run.
 
     Children of each decision node are pushed so pops follow exploration
     order (shallowest node first, ascending alternatives), and each sibling's
     sleep set accumulates the siblings explored before it — the classic
     sleep-set discipline adapted to the worklist DFS.
+
+    When the scheduler recorded symmetry classes (wake-order
+    canonicalization), alternatives whose class matches the chosen candidate
+    or an already-pushed sibling are collapsed: their subtrees are images of
+    an explored subtree under a thread-swap automorphism, so only one
+    representative per class is branched.
     """
     decisions = run.decisions
     sleeps = strategy.fresh_sleeps
@@ -476,18 +718,31 @@ def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
         decision = decisions[position]
         node_sleep = sleeps[offset]
         child_prefix = choices[:position]
+        sym = decision.sym_classes
+        explored_classes = {sym[decision.chosen]} if sym else None
         if decision.kind != "grant":
-            # Signal choices are not reduced: every alternative wake target
-            # is explored (the woken thread's identity is observable).
+            # Signal choices are otherwise not reduced: every alternative
+            # wake target is explored (the woken thread's identity is
+            # observable) unless it is provably symmetric to one already
+            # taken.
             for alternative in range(len(decision.candidates)):
-                if alternative != decision.chosen:
-                    entries.append((child_prefix + (alternative,), node_sleep))
+                if alternative == decision.chosen:
+                    continue
+                if sym:
+                    if sym[alternative] in explored_classes:
+                        outcome.symmetry_skipped += 1
+                        continue
+                    explored_classes.add(sym[alternative])
+                entries.append((child_prefix + (alternative,), node_sleep))
             continue
         chosen_tid = decision.candidates[decision.chosen]
         chosen_method = decision.methods[decision.chosen]
-        asleep = {tid for tid, _method in node_sleep}
+        asleep = {entry[0] for entry in node_sleep}
         cumulative = set(node_sleep)
-        cumulative.add((chosen_tid, chosen_method))
+        cumulative.add((chosen_tid, chosen_method,
+                        _call_args(programs, decision, decision.chosen),
+                        refiner.pending_wait_key(decision, decision.chosen)
+                        if refiner else None))
         for alternative in range(len(decision.candidates)):
             if alternative == decision.chosen:
                 continue
@@ -498,26 +753,78 @@ def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
                 # trace that starts by running this thread here.
                 outcome.por_skipped += 1
                 continue
-            if _commutes_past(run, decision, tid, method, independence):
+            if sym and sym[alternative] in explored_classes:
+                outcome.symmetry_skipped += 1
+                continue
+            if _commutes_past(run, decision, alternative, independence, refiner,
+                              values, programs):
                 outcome.por_skipped += 1
                 continue
             entries.append((child_prefix + (alternative,), frozenset(cumulative)))
-            cumulative.add((tid, method))
+            cumulative.add((tid, method,
+                            _call_args(programs, decision, alternative),
+                            refiner.pending_wait_key(decision, alternative)
+                            if refiner else None))
+            if sym:
+                explored_classes.add(sym[alternative])
     stack.extend(reversed(entries))
+
+
+def _call_args(programs, decision: Decision, index: int) -> tuple:
+    """The concrete arguments of a decision candidate's pending call."""
+    if programs is None or not decision.op_indices:
+        return ()
+    tid = decision.candidates[index]
+    op_index = decision.op_indices[index]
+    if tid < len(programs) and op_index < len(programs[tid]):
+        return tuple(programs[tid][op_index][1])
+    return ()
 
 
 def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
                   budget: int, max_steps: int, stop_on_failure: bool,
                   minimize: bool, oracle: OracleCache,
-                  seen: set, dfs_prefixes=None) -> None:
+                  seen: set, dfs_prefixes=None, semantic: bool = True,
+                  symmetry: bool = True, shared_store=None) -> None:
     independence = IndependenceRelation(
-        getattr(coop_class, "_coop_footprints", None))
+        getattr(coop_class, "_coop_footprints", None),
+        getattr(coop_class, "_coop_semantic", None) if semantic else None)
+    refiner: Optional[SegmentRefiner] = None
+    values: Optional[ValueIndependence] = None
+    checker = None
+    if semantic:
+        candidate = SegmentRefiner(coop_class, programs)
+        refiner = candidate if candidate.enabled else None
+        explicit = getattr(coop_class, "_coop_explicit", None)
+        if explicit is not None:
+            values = ValueIndependence(explicit, independence)
+        if refiner is not None or values is not None:
+            def checker(entry, method, args, extent_key,
+                        _refiner=refiner, _values=values,
+                        _independence=independence):
+                """Context-sensitive sleep-set dependence (see DporStrategy)."""
+                _tid, entry_method, entry_args, entry_key = entry
+                entry_fp = (_refiner.wait_footprint(entry_key)
+                            if _refiner is not None and entry_key else None)
+                extent_fp = (_refiner.wait_footprint(extent_key)
+                             if _refiner is not None and extent_key else None)
+                if _independence.segment_independent(entry_method, entry_fp,
+                                                     method, extent_fp):
+                    return True
+                return (_values is not None
+                        and _values.independent(entry_method, entry_args,
+                                                method, args))
     stack: List[Tuple[Tuple[int, ...], frozenset]] = (
         [(tuple(prefix), frozenset()) for prefix in reversed(dfs_prefixes)]
         if dfs_prefixes else [((), frozenset())])
 
     def probe(fingerprint: tuple) -> bool:
         if fingerprint in seen:
+            return True
+        if shared_store is not None and shared_store.probe(_stable_hash(fingerprint)):
+            # Another shard already explored this state's subtree.
+            outcome.shared_hits += 1
+            seen.add(fingerprint)
             return True
         seen.add(fingerprint)
         return False
@@ -530,11 +837,11 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
         if outcome.pruned + outcome.por_skipped >= work_cap:
             break
         prefix, sleep = stack.pop()
-        strategy = DporStrategy(prefix, sleep, independence)
+        strategy = DporStrategy(prefix, sleep, independence, checker=checker)
         instance = coop_class()
         run = run_schedule(instance, programs, strategy, max_steps,
                            fingerprints=True, fingerprint_after=len(prefix),
-                           merge_probe=probe)
+                           merge_probe=probe, symmetry=symmetry)
         if run.outcome == "merged":
             outcome.pruned += 1
             verdict = oracle.judge_partial(run)
@@ -544,12 +851,15 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
         else:
             verdict = oracle.judge(run, instance)
             _tally(outcome, run, verdict)
-        _expand_dpor(run, prefix, strategy, stack, independence, outcome)
+        _expand_dpor(run, prefix, strategy, stack, independence, outcome,
+                     refiner, values, programs)
         if verdict.is_failure:
             _record_failure(outcome, monitor, coop_class, programs, run, verdict,
                             "dfs", None, max_steps, minimize)
             if stop_on_failure:
                 stopped = True
+    if shared_store is not None:
+        shared_store.flush()
     outcome.exhausted = not stack
     outcome.budget_exhausted = bool(stack)
 
@@ -559,16 +869,23 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
                   max_steps: int = 20_000, stop_on_failure: bool = True,
                   minimize: bool = True, benchmark: str = "?",
                   discipline: str = "?", por: bool = True,
+                  semantic: bool = True, symmetry: bool = True,
                   dfs_prefixes: Optional[Sequence[Sequence[int]]] = None,
-                  export_state_hashes: bool = False) -> ExplorationResult:
+                  export_state_hashes: bool = False,
+                  shared_store=None) -> ExplorationResult:
     """Explore one coop monitor class over fixed per-thread programs.
 
     ``por`` selects partial-order reduction for the ``dfs`` strategy
-    (sampling strategies ignore it).  ``dfs_prefixes`` restricts the DFS to
-    the subtrees rooted at the given choice prefixes (the parallel driver
-    shards the top-level decision this way).  ``export_state_hashes``
-    populates ``result.state_hashes`` with stable hashes of the visited
-    states so shard coverage can be unioned across processes.
+    (sampling strategies ignore it); under POR, ``semantic`` additionally
+    consults the compile-side SMT-proven independence matrix and
+    ``symmetry`` collapses provably interchangeable wake/grant alternatives
+    to one representative.  ``dfs_prefixes`` restricts the DFS to the
+    subtrees rooted at the given choice prefixes (the parallel driver shards
+    the top-level decision this way).  ``export_state_hashes`` populates
+    ``result.state_hashes`` with stable hashes of the visited states so
+    shard coverage can be unioned across processes; ``shared_store``
+    (an object with ``probe(hash) -> bool`` and ``flush()``) lets DFS
+    shards skip states other workers already explored.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
@@ -582,9 +899,15 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
     seen: set = set()
     start = time.perf_counter()
     if strategy == "dfs":
-        driver = _explore_dpor if por else _explore_dfs_plain
-        driver(monitor, coop_class, programs, outcome, budget, max_steps,
-               stop_on_failure, minimize, oracle, seen, dfs_prefixes)
+        if por:
+            _explore_dpor(monitor, coop_class, programs, outcome, budget,
+                          max_steps, stop_on_failure, minimize, oracle, seen,
+                          dfs_prefixes, semantic=semantic, symmetry=symmetry,
+                          shared_store=shared_store)
+        else:
+            _explore_dfs_plain(monitor, coop_class, programs, outcome, budget,
+                               max_steps, stop_on_failure, minimize, oracle,
+                               seen, dfs_prefixes)
         outcome.distinct_states = len(seen)
     else:
         _explore_sampling(monitor, coop_class, programs, outcome, budget, seed,

@@ -11,12 +11,17 @@ only care is determinism of the *reported* result:
 * ``dfs`` shards the *top-level decision*: the driver runs one schedule to
   find the first branching decision and gives each worker a slice of its
   alternatives as DFS root prefixes.  Shards keep private visited-state sets
-  (coverage is unioned via stable state hashes), and the merged failure list
-  is ordered by (shard, discovery order).
+  (coverage is unioned via stable state hashes) **and additionally share a
+  cross-worker visited-fingerprint memo** — a multiprocessing manager dict
+  that each shard's merge probe consults through
+  :class:`SharedStateStore`'s batched flushes — so shards stop re-exploring
+  (and re-judging) each other's overlap.  The merged failure list is
+  ordered by (shard, discovery order).
 
 Workers never recompile the monitor: the parent ships the *generated coop
-class source* (plus the reference AST and POR footprints), so a worker only
-``exec``s the class definition — no SMT, no placement.
+class source* (plus the reference AST, POR footprints, semantic matrix and
+wait-guard metadata), so a worker only ``exec``s the class definition — no
+SMT recompilation, no placement.
 
 The module also hosts the **mutation campaign**: iterate every placed
 notification of every benchmark (``ExplicitMonitor.notification_sites``),
@@ -26,6 +31,7 @@ a placement-wide lost-wakeup detection sweep, parallelized per mutant.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -39,6 +45,7 @@ from repro.explore.engine import (
     coop_monitor_and_class,
     explore_class,
     footprints_for_explicit,
+    wait_info_for_explicit,
 )
 from repro.explore.scheduler import run_schedule
 from repro.explore.strategies import FirstStrategy
@@ -51,6 +58,58 @@ def default_workers() -> int:
 
 
 # ---------------------------------------------------------------------------
+# The cross-worker visited-state store
+# ---------------------------------------------------------------------------
+
+
+class SharedStateStore:
+    """A cross-process visited-fingerprint memo with batched flushes.
+
+    DFS shards keep their (fast, process-local) ``seen`` sets; on top, every
+    shard publishes the stable hashes of its fresh states to one manager
+    dict and learns the other shards' hashes back.  Round-trips to the
+    manager process are expensive, so traffic is batched: a shard buffers
+    ``flush_every`` fresh hashes before pushing them, and refreshes its
+    local snapshot of foreign hashes on the same cadence.  ``probe`` errs
+    on the side of ``False`` (state not known elsewhere) between flushes —
+    a shard then merely re-explores a little overlap, never skips coverage.
+    """
+
+    def __init__(self, store, flush_every: int = 32):
+        self._store = store            # multiprocessing.Manager().dict()
+        self.flush_every = max(int(flush_every), 1)
+        self._snapshot: set = set()
+        self._pending: List[int] = []
+        self.flushes = 0
+        self.flush()                   # pull whatever earlier shards published
+
+    def probe(self, state_hash: int) -> bool:
+        """Publish *state_hash*; True when another shard already had it.
+
+        A flush triggered here must not re-test the hash: the refreshed
+        snapshot now contains the shard's *own* batch, and a state first
+        visited locally is the local shard's to explore.
+        """
+        if state_hash in self._snapshot:
+            return True
+        self._pending.append(state_hash)
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+        return False
+
+    def flush(self) -> None:
+        if self._pending:
+            self._store.update(dict.fromkeys(self._pending, True))
+            self._pending.clear()
+        try:
+            self._snapshot = set(self._store.keys())
+        except (EOFError, BrokenPipeError, ConnectionError):
+            # The manager is gone (driver tearing down): degrade to local.
+            self._snapshot = set()
+        self.flushes += 1
+
+
+# ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
@@ -59,28 +118,50 @@ def _rebuild_class(job: dict) -> type:
     cls = materialize_class(job["class_source"], job["class_name"])
     if job.get("footprints") is not None:
         cls._coop_footprints = job["footprints"]
+    if job.get("semantic") is not None:
+        cls._coop_semantic = job["semantic"]
+    if job.get("wait_info") is not None:
+        cls._coop_wait_info = job["wait_info"]
+    if job.get("explicit") is not None:
+        cls._coop_explicit = job["explicit"]
     return cls
 
 
 def _run_shard(job: dict) -> ExplorationResult:
     """One worker's slice of a campaign (executed in a pool process)."""
     coop_class = _rebuild_class(job)
+    shared_states = job.get("shared_states")
+    shared_store = (SharedStateStore(shared_states)
+                    if shared_states is not None else None)
     return explore_class(
         job["monitor"], coop_class, job["programs"],
         strategy=job["strategy"], budget=job["budget"], seed=job["seed"],
         max_steps=job["max_steps"], stop_on_failure=job["stop_on_failure"],
         minimize=job["minimize"], benchmark=job["benchmark"],
         discipline=job["discipline"], por=job["por"],
+        semantic=job.get("semantic_por", True),
+        symmetry=job.get("symmetry", True),
         dfs_prefixes=job.get("dfs_prefixes"),
-        export_state_hashes=job["strategy"] == "dfs")
+        export_state_hashes=job["strategy"] == "dfs",
+        shared_store=shared_store)
 
 
 def _run_mutant(job: dict) -> dict:
-    """Explore one notification-deleted mutant (executed in a pool process)."""
+    """Explore one notification-deleted mutant (executed in a pool process).
+
+    The semantic matrix is computed once per *benchmark* in the driver and
+    reused verbatim: deleting a notification changes no body and no guard,
+    and the condition-variable compatibility the matrix deliberately leaves
+    out is re-derived here from the mutant's own (reduced) footprints.
+    """
     mutant: ExplicitMonitor = job["mutant"]
     source = generate_python_explicit(mutant, class_name="CoopMonitor", coop=True)
     cls = materialize_class(source, "CoopMonitor")
     cls._coop_footprints = footprints_for_explicit(mutant)
+    if job.get("semantic") is not None:
+        cls._coop_semantic = job["semantic"]
+    cls._coop_wait_info = wait_info_for_explicit(mutant)
+    cls._coop_explicit = mutant
     result = explore_class(
         job["monitor"], cls, job["programs"], strategy="dfs",
         budget=job["budget"], max_steps=job["max_steps"],
@@ -130,6 +211,8 @@ def merge_results(shards: Sequence[ExplorationResult], strategy: str,
         merged.stalls += shard.stalls
         merged.pruned += shard.pruned
         merged.por_skipped += shard.por_skipped
+        merged.symmetry_skipped += shard.symmetry_skipped
+        merged.shared_hits += shard.shared_hits
         merged.oracle_hits += shard.oracle_hits
         merged.oracle_misses += shard.oracle_misses
         if shard.state_hashes:
@@ -183,25 +266,34 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                            seed: int = 0, max_steps: int = 20_000,
                            stop_on_failure: bool = True, minimize: bool = True,
                            benchmark: str = "?", discipline: str = "?",
-                           por: bool = True,
+                           por: bool = True, semantic: bool = True,
+                           symmetry: bool = True, share_states: bool = True,
                            workers: Optional[int] = None) -> ExplorationResult:
     """`explore_class`, sharded over a process pool.
 
     Falls back to the sequential engine when one worker (or one shard) would
     do all the work anyway.  The coop class must carry ``_coop_source`` (all
     engine-built classes do) so workers can rebuild it without recompiling.
+    ``share_states`` (DFS only) links the shards' merge probes through one
+    :class:`SharedStateStore`, so overlap explored by one shard is pruned —
+    not re-judged — by the others.
     """
     workers = workers or default_workers()
     source = getattr(coop_class, "_coop_source", None)
+    sequential_kwargs = dict(
+        strategy=strategy, budget=budget, seed=seed, max_steps=max_steps,
+        stop_on_failure=stop_on_failure, minimize=minimize,
+        benchmark=benchmark, discipline=discipline, por=por,
+        semantic=semantic, symmetry=symmetry)
     if workers <= 1 or source is None:
-        return explore_class(monitor, coop_class, programs, strategy=strategy,
-                             budget=budget, seed=seed, max_steps=max_steps,
-                             stop_on_failure=stop_on_failure, minimize=minimize,
-                             benchmark=benchmark, discipline=discipline, por=por)
+        return explore_class(monitor, coop_class, programs, **sequential_kwargs)
     base_job = {
         "class_source": source,
         "class_name": coop_class.__name__,
         "footprints": getattr(coop_class, "_coop_footprints", None),
+        "semantic": getattr(coop_class, "_coop_semantic", None),
+        "wait_info": getattr(coop_class, "_coop_wait_info", None),
+        "explicit": getattr(coop_class, "_coop_explicit", None),
         "monitor": monitor,
         "programs": [list(program) for program in programs],
         "strategy": strategy,
@@ -211,39 +303,48 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         "benchmark": benchmark,
         "discipline": discipline,
         "por": por,
+        "semantic_por": semantic,
+        "symmetry": symmetry,
     }
+    manager = None
     jobs: List[dict] = []
-    if strategy == "dfs":
-        roots = _dfs_root_prefixes(coop_class, programs, max_steps)
-        if len(roots) < 2:
-            return explore_class(monitor, coop_class, programs, strategy=strategy,
-                                 budget=budget, seed=seed, max_steps=max_steps,
-                                 stop_on_failure=stop_on_failure,
-                                 minimize=minimize, benchmark=benchmark,
-                                 discipline=discipline, por=por)
-        root_slices = _shard_bounds(len(roots), min(workers, len(roots)))
-        # The --schedules budget caps *total* judged schedules, like the
-        # sequential path: split it across shards (each shard gets at least
-        # one schedule so every subtree is entered).
-        budget_sizes = [end - start
-                        for start, end in _shard_bounds(budget, len(root_slices))]
-        budget_sizes += [1] * (len(root_slices) - len(budget_sizes))
-        for (start, end), shard_budget in zip(root_slices, budget_sizes):
-            job = dict(base_job)
-            job["seed"] = seed
-            job["budget"] = max(shard_budget, 1)
-            job["dfs_prefixes"] = roots[start:end]
-            jobs.append(job)
-    else:
-        for start, end in _shard_bounds(budget, workers):
-            job = dict(base_job)
-            job["seed"] = seed + start
-            job["budget"] = end - start
-            jobs.append(job)
-    start_time = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
-        shards = list(pool.map(_run_shard, jobs))
-    elapsed = time.perf_counter() - start_time
+    try:
+        if strategy == "dfs":
+            roots = _dfs_root_prefixes(coop_class, programs, max_steps)
+            if len(roots) < 2:
+                return explore_class(monitor, coop_class, programs,
+                                     **sequential_kwargs)
+            shared_states = None
+            if share_states and por:
+                manager = multiprocessing.Manager()
+                shared_states = manager.dict()
+            root_slices = _shard_bounds(len(roots), min(workers, len(roots)))
+            # The --schedules budget caps *total* judged schedules, like the
+            # sequential path: split it across shards (each shard gets at
+            # least one schedule so every subtree is entered).
+            budget_sizes = [end - start
+                            for start, end in _shard_bounds(budget, len(root_slices))]
+            budget_sizes += [1] * (len(root_slices) - len(budget_sizes))
+            for (start, end), shard_budget in zip(root_slices, budget_sizes):
+                job = dict(base_job)
+                job["seed"] = seed
+                job["budget"] = max(shard_budget, 1)
+                job["dfs_prefixes"] = roots[start:end]
+                job["shared_states"] = shared_states
+                jobs.append(job)
+        else:
+            for start, end in _shard_bounds(budget, workers):
+                job = dict(base_job)
+                job["seed"] = seed + start
+                job["budget"] = end - start
+                jobs.append(job)
+        start_time = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+            shards = list(pool.map(_run_shard, jobs))
+        elapsed = time.perf_counter() - start_time
+    finally:
+        if manager is not None:
+            manager.shutdown()
     return merge_results(shards, strategy, seed, len(jobs), elapsed)
 
 
@@ -327,6 +428,7 @@ def mutation_campaign(specs, threads: int = 3, ops: int = 2,
     the signal is unobservable under this workload bound) or a genuine
     detection gap (``survived``), which fails the campaign.
     """
+    from repro.analysis.commutativity import semantic_independence_for_explicit
     from repro.harness.saturation import expresso_result
     from repro.placement.pipeline import ExpressoPipeline
 
@@ -335,6 +437,9 @@ def mutation_campaign(specs, threads: int = 3, ops: int = 2,
     jobs: List[dict] = []
     for spec in specs:
         compiled = expresso_result(spec, pipeline)
+        # One SMT pass per benchmark; every mutant shares the parent's
+        # matrix (bodies and guards are untouched by notification deletion).
+        semantic = semantic_independence_for_explicit(compiled.explicit)
         programs = [list(program) for program in spec.workload(threads, ops)]
         for site in compiled.explicit.notification_sites():
             jobs.append({
@@ -346,6 +451,7 @@ def mutation_campaign(specs, threads: int = 3, ops: int = 2,
                 "budget": budget,
                 "max_steps": max_steps,
                 "minimize": minimize,
+                "semantic": semantic,
             })
     report = MutationReport(threads=threads, ops=ops, budget=budget,
                             workers=workers)

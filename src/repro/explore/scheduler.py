@@ -65,6 +65,10 @@ class TraceEvent:
     label: Optional[str] = None    # CCR label (commit) or method name (grant)
     key: Optional[str] = None      # condition key (wait/signal/broadcast)
     woken: Tuple[int, ...] = ()    # threads woken by a signal/broadcast
+    #: The granted operation's call arguments (grant events only) — the
+    #: value-sensitive POR layer keys instantiated independence checks on
+    #: (method, args) pairs.
+    args: Tuple = ()
 
 
 @dataclass(frozen=True)
@@ -82,6 +86,20 @@ class Decision:
     #: Index into ``RunResult.events`` where this decision's effect lands —
     #: the grant event it produced (grant) or the signal event (signal).
     event_index: int = -1
+    #: Symmetry-class ids aligned with ``candidates`` (only populated when
+    #: the scheduler runs with ``symmetry=True``).  Two candidates share a
+    #: class when they are provably interchangeable: same suspended frame
+    #: (method, arguments, locals, resume point) and same remaining program,
+    #: so swapping them is a state automorphism and the DPOR expansion only
+    #: needs one representative per class.
+    sym_classes: Tuple[int, ...] = ()
+    #: Each candidate's program position (grant decisions only) — the
+    #: context-sensitive POR refinement uses it to look up the pending
+    #: operation's arguments.
+    op_indices: Tuple[int, ...] = ()
+    #: Per candidate, the condition key the thread was last woken from (None
+    #: for a thread starting a fresh operation); grant decisions only.
+    resumes: Tuple[Optional[str], ...] = ()
 
 
 @dataclass
@@ -104,7 +122,8 @@ class RunResult:
 
 
 class _VirtualThread:
-    __slots__ = ("tid", "program", "op_index", "frame", "status", "wait_key")
+    __slots__ = ("tid", "program", "op_index", "frame", "status", "wait_key",
+                 "resume_key")
 
     def __init__(self, tid: int, program: ThreadProgram):
         self.tid = tid
@@ -113,6 +132,10 @@ class _VirtualThread:
         self.frame = None
         self.status = "done"       # acquiring | waiting | done
         self.wait_key: Optional[str] = None
+        #: The condition this thread was last woken from, None once the
+        #: operation completes — i.e. whether a grant would *resume* the
+        #: thread mid-method rather than start the operation fresh.
+        self.resume_key: Optional[str] = None
 
 
 # -- state fingerprinting ----------------------------------------------------
@@ -170,19 +193,38 @@ class CoopScheduler:
     def __init__(self, instance, programs: Sequence[ThreadProgram],
                  strategy: Strategy, max_steps: int = 20_000,
                  fingerprints: bool = False, fingerprint_after: int = 0,
-                 merge_probe: Optional[Callable[[tuple], bool]] = None):
+                 merge_probe: Optional[Callable[[tuple], bool]] = None,
+                 symmetry: bool = False):
         self.instance = instance
         self.strategy = strategy
         self.max_steps = max_steps
         self.fingerprints = fingerprints
         self.fingerprint_after = fingerprint_after
         self.merge_probe = merge_probe
+        self.symmetry = symmetry
         self.threads = [_VirtualThread(tid, program)
                         for tid, program in enumerate(programs)]
         self.owner: Optional[_VirtualThread] = None
         self.result = RunResult(outcome="error")
         self._frame_cache: Dict[int, tuple] = {}
         self._observe = getattr(strategy, "observe_grant", None)
+        self._observe_extent = getattr(strategy, "observe_extent", None)
+        # Symmetry reduction canonicalizes state fingerprints modulo
+        # permutation of threads running *identical programs*: swapping two
+        # such threads' entire dynamic states is an automorphism of the
+        # scheduler, so states that differ only by the transposition root
+        # isomorphic subtrees and may share one fingerprint.
+        self._sym_groups: List[List[int]] = []
+        #: Per-(tid, op_index) remaining-program keys, filled lazily —
+        #: programs are fixed, so the suffix key never changes and the hot
+        #: decision loop must not rebuild it per candidate per decision.
+        self._suffix_keys: Dict[Tuple[int, int], tuple] = {}
+        if symmetry:
+            by_program: Dict[tuple, List[int]] = {}
+            for thread in self.threads:
+                key = tuple((name, tuple(args)) for name, args in thread.program)
+                by_program.setdefault(key, []).append(thread.tid)
+            self._sym_groups = list(by_program.values())
 
     # -- public entry point ---------------------------------------------------
 
@@ -232,18 +274,30 @@ class CoopScheduler:
                     return
             thread = contenders[self._choose(
                 "grant", tuple(t.tid for t in contenders), fingerprint,
-                tuple(t.program[t.op_index][0] for t in contenders))]
+                tuple(t.program[t.op_index][0] for t in contenders),
+                sym_classes=self._symmetry_classes(contenders),
+                op_indices=tuple(t.op_index for t in contenders),
+                resumes=tuple(t.resume_key for t in contenders))]
             self.owner = thread
-            method_name = thread.program[thread.op_index][0]
+            method_name, method_args = thread.program[thread.op_index]
             if self._observe is not None:
-                self._observe(thread.tid, method_name)
-            result.events.append(TraceEvent("grant", thread.tid, label=method_name))
+                self._observe(thread.tid, method_name, tuple(method_args))
+            result.events.append(TraceEvent("grant", thread.tid, label=method_name,
+                                            args=tuple(method_args)))
             self._run_holder(thread)
 
     def _run_holder(self, thread: _VirtualThread) -> None:
-        """Advance *thread* (which holds the lock) until it waits or finishes."""
+        """Advance *thread* (which holds the lock) until it waits or finishes.
+
+        When the segment ends, the strategy's ``observe_extent`` hook (if
+        any) learns whether it was a *pure wait entry* — the thread only
+        evaluated a guard and went to sleep (exactly one event, the wait,
+        was emitted) — which is what lets the context-sensitive sleep-set
+        update keep more deferred transitions asleep.
+        """
         result = self.result
         self._frame_cache.pop(thread.tid, None)
+        segment_start = len(result.events)
         while True:
             result.steps += 1
             try:
@@ -255,6 +309,8 @@ class CoopScheduler:
                         f"holding the monitor lock (missing release yield)")
                 thread.op_index += 1
                 self._advance_to_acquire(thread)
+                if self._observe_extent is not None:
+                    self._observe_extent(None)
                 return
             kind = op[0]
             if kind == "wait":
@@ -263,6 +319,9 @@ class CoopScheduler:
                 thread.status = "waiting"
                 thread.wait_key = key
                 result.events.append(TraceEvent("wait", thread.tid, key=key))
+                if self._observe_extent is not None:
+                    pure = len(result.events) - segment_start == 1
+                    self._observe_extent(key if pure else None)
                 return
             if kind == "commit":
                 result.commits.append((thread.tid, op[1]))
@@ -279,10 +338,16 @@ class CoopScheduler:
                 result.events.append(TraceEvent("release", thread.tid))
             elif kind == "acquire":
                 # A mid-method re-acquire: contend again (not emitted by the
-                # current generators, but the protocol allows it).
+                # current generators, but the protocol allows it).  The
+                # thread is no longer resuming from a wake: stale resume
+                # metadata would make the refinement evaluate the wrong
+                # guard.
                 if self.owner is thread:
                     continue
                 thread.status = "acquiring"
+                thread.resume_key = None
+                if self._observe_extent is not None:
+                    self._observe_extent(None)
                 return
             else:
                 raise SchedulerError(f"unknown scheduler op {op!r}")
@@ -291,7 +356,10 @@ class CoopScheduler:
 
     def _choose(self, kind: str, candidates: Tuple[int, ...],
                 fingerprint: Optional[tuple],
-                methods: Tuple[str, ...] = ()) -> int:
+                methods: Tuple[str, ...] = (),
+                sym_classes: Tuple[int, ...] = (),
+                op_indices: Tuple[int, ...] = (),
+                resumes: Tuple[Optional[str], ...] = ()) -> int:
         """Delegate a choice to the strategy, recording it when it branches."""
         if len(candidates) == 1:
             return 0
@@ -301,8 +369,53 @@ class CoopScheduler:
                 f"strategy chose index {index} among {len(candidates)} candidates")
         self.result.decisions.append(
             Decision(kind, candidates, index, fingerprint, methods,
-                     event_index=len(self.result.events)))
+                     event_index=len(self.result.events),
+                     sym_classes=sym_classes, op_indices=op_indices,
+                     resumes=resumes))
         return index
+
+    def _symmetry_classes(self, threads) -> Tuple[int, ...]:
+        """Partition decision candidates into interchangeability classes.
+
+        Two candidates are symmetric when their suspended frames fingerprint
+        identically (same method, arguments, locals and resume point) and
+        their remaining programs agree — then swapping the two thread ids is
+        an automorphism of the scheduler state and the subtrees rooted at
+        either choice produce the same verdict kinds.  Returns () when
+        symmetry reduction is off or fewer than two candidates compete.
+        """
+        if not self.symmetry or len(threads) < 2:
+            return ()
+        classes: List[int] = []
+        keys: Dict[tuple, int] = {}
+        for thread in threads:
+            # The remaining program starts at the *current* op: frame
+            # fingerprints pin locals and resume point but not the method's
+            # identity, so the (name, args) of the in-flight op must be part
+            # of the key too.
+            key = (self._cached_frame_fingerprint(thread),
+                   thread.wait_key,
+                   self._suffix_key(thread))
+            classes.append(keys.setdefault(key, len(keys)))
+        return tuple(classes)
+
+    def _suffix_key(self, thread: _VirtualThread) -> tuple:
+        cache_key = (thread.tid, thread.op_index)
+        suffix = self._suffix_keys.get(cache_key)
+        if suffix is None:
+            suffix = tuple((name, tuple(args))
+                           for name, args in thread.program[thread.op_index:])
+            self._suffix_keys[cache_key] = suffix
+        return suffix
+
+    def _cached_frame_fingerprint(self, thread: _VirtualThread) -> Optional[tuple]:
+        if thread.frame is None:
+            return None
+        fingerprint = self._frame_cache.get(thread.tid)
+        if fingerprint is None:
+            fingerprint = _frame_fingerprint(thread.frame)
+            self._frame_cache[thread.tid] = fingerprint
+        return fingerprint
 
     def _wake(self, waker: _VirtualThread, key: str, broadcast: bool) -> None:
         sleepers = sorted(
@@ -315,11 +428,13 @@ class CoopScheduler:
         if broadcast:
             woken = sleepers
         else:
-            chosen = self._choose("signal", tuple(t.tid for t in sleepers), None)
+            chosen = self._choose("signal", tuple(t.tid for t in sleepers), None,
+                                  sym_classes=self._symmetry_classes(sleepers))
             woken = [sleepers[chosen]]
         for sleeper in woken:
             sleeper.status = "acquiring"
             sleeper.wait_key = None
+            sleeper.resume_key = key
         self.result.events.append(
             TraceEvent(kind, waker.tid, key=key,
                        woken=tuple(t.tid for t in woken)))
@@ -327,6 +442,7 @@ class CoopScheduler:
     def _advance_to_acquire(self, thread: _VirtualThread) -> None:
         """Start *thread*'s next operation, pausing at its first acquire."""
         self._frame_cache.pop(thread.tid, None)
+        thread.resume_key = None
         while thread.op_index < len(thread.program):
             method_name, args = thread.program[thread.op_index]
             generator = getattr(self.instance, method_name)(*args)
@@ -357,26 +473,27 @@ class CoopScheduler:
             for name, value in vars(self.instance).items()
             if not name.startswith("_") and name != "metrics"
         ))
-        cache = self._frame_cache
         threads = []
         for t in self.threads:
-            if t.frame is None:
-                frame_fp = None
-            else:
-                frame_fp = cache.get(t.tid)
-                if frame_fp is None:
-                    frame_fp = _frame_fingerprint(t.frame)
-                    cache[t.tid] = frame_fp
+            frame_fp = self._cached_frame_fingerprint(t)
             threads.append((t.status, t.wait_key, t.op_index, frame_fp))
+        if self.symmetry:
+            # Canonical order within each identical-program group: entries
+            # are heterogeneous tuples (None vs str members), so sort by a
+            # deterministic textual key rather than structurally.
+            return (shared, tuple(
+                tuple(sorted((threads[tid] for tid in group), key=repr))
+                for group in self._sym_groups))
         return (shared, tuple(threads))
 
 
 def run_schedule(instance, programs: Sequence[ThreadProgram], strategy: Strategy,
                  max_steps: int = 20_000, fingerprints: bool = False,
                  fingerprint_after: int = 0,
-                 merge_probe: Optional[Callable[[tuple], bool]] = None) -> RunResult:
+                 merge_probe: Optional[Callable[[tuple], bool]] = None,
+                 symmetry: bool = False) -> RunResult:
     """Convenience wrapper: build a scheduler and run it to completion."""
     return CoopScheduler(instance, programs, strategy, max_steps,
                          fingerprints=fingerprints,
                          fingerprint_after=fingerprint_after,
-                         merge_probe=merge_probe).run()
+                         merge_probe=merge_probe, symmetry=symmetry).run()

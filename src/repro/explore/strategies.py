@@ -153,46 +153,104 @@ class MethodFootprint:
     signals: FrozenSet[str]
 
 
+def condition_vars_compatible(a: MethodFootprint, b: MethodFootprint,
+                              allow_shared_signals: bool = False) -> bool:
+    """Neither side signals a condition the other *waits* on.
+
+    A signal aimed at a condition the other segment may sleep on is
+    order-observable regardless of how the method bodies relate: running the
+    signaller first loses the wake-up.  Two segments that merely *wait* on
+    the same condition stay compatible (the scheduler keeps sleeper queues
+    tid-sorted, so arrival order is unobservable).
+
+    Two segments *signalling* the same condition are conservatively
+    incompatible by default — whether a conditional notification fires
+    depends on the state it is evaluated in, which depends on order.  The
+    semantic layer may pass ``allow_shared_signals=True`` once the solver
+    has proved every conditional notification predicate of each side is
+    preserved by the other side's body: then both orders fire the same
+    multiset of notifications against the same sleeper queues, and the
+    per-signal wake decisions are branched by the explorer either way.
+    """
+    if a.signals & b.waits:
+        return False
+    if b.signals & a.waits:
+        return False
+    if not allow_shared_signals and (a.signals & b.signals):
+        return False
+    return True
+
+
 def footprints_independent(a: MethodFootprint, b: MethodFootprint) -> bool:
-    """Do two pending segments commute regardless of order?
+    """Do two pending segments commute regardless of order (syntactically)?
 
     Writes may not touch the other side's reads or writes (the shared state
-    would differ between orders), and neither side may signal a condition the
-    other waits on or signals (a signal's woken-set depends on who is already
-    asleep / which signal fires first).  Two segments that merely *wait* on
-    the same condition stay independent: the scheduler keeps sleeper queues
-    tid-sorted, so arrival order is unobservable.
+    would differ between orders), and the condition-variable sets must be
+    compatible (see :func:`condition_vars_compatible`).
     """
     if a.writes & (b.reads | b.writes):
         return False
     if b.writes & (a.reads | a.writes):
         return False
-    if a.signals & (b.waits | b.signals):
-        return False
-    if b.signals & (a.waits | a.signals):
-        return False
-    return True
+    return condition_vars_compatible(a, b)
 
 
 class IndependenceRelation:
-    """Pairwise method independence, precomputed from per-method footprints.
+    """Pairwise method independence: syntactic footprints plus, when the
+    compile side provides one, the SMT-proven semantic matrix.
 
-    Built from a ``{method name: MethodFootprint}`` mapping (attached to
-    generated coop classes by the engine).  Methods without a footprint are
-    conservatively dependent on everything.
+    Built from a ``{method name: MethodFootprint}`` mapping and an optional
+    ``{(name, name): bool}`` *semantic* matrix (both attached to generated
+    coop classes).  A pair is independent when its footprints are disjoint
+    — or when the solver proved the bodies commute and preserve each
+    other's guards, provided the condition-variable sets are still
+    compatible (signal interactions are re-checked syntactically because
+    notification mutants change them without changing bodies).  Methods
+    without a footprint are conservatively dependent on everything.
     """
 
-    def __init__(self, footprints: Optional[Dict[str, MethodFootprint]]):
+    def __init__(self, footprints: Optional[Dict[str, MethodFootprint]],
+                 semantic: Optional[Dict[Tuple[str, str], bool]] = None):
         self.footprints = footprints or {}
+        self.semantic = semantic or {}
         self._table: Dict[Tuple[str, str], bool] = {}
+        self.semantic_pairs = 0
         names = sorted(self.footprints)
         for a in names:
             for b in names:
-                self._table[(a, b)] = footprints_independent(
-                    self.footprints[a], self.footprints[b])
+                fp_a, fp_b = self.footprints[a], self.footprints[b]
+                independent = footprints_independent(fp_a, fp_b)
+                if (not independent and self.semantic.get((a, b))
+                        and condition_vars_compatible(
+                            fp_a, fp_b, allow_shared_signals=True)):
+                    independent = True
+                    self.semantic_pairs += 1
+                self._table[(a, b)] = independent
 
     def independent(self, method_a: str, method_b: str) -> bool:
         return self._table.get((method_a, method_b), False)
+
+    def segment_independent(self, method_a: str,
+                            refined_a: Optional[MethodFootprint],
+                            method_b: str,
+                            refined_b: Optional[MethodFootprint]) -> bool:
+        """Independence of two *segments*, with optional context refinement.
+
+        ``refined_x`` replaces method ``x``'s whole-method footprint with the
+        footprint of the segment it is actually about to run (the engine
+        passes the wait-entry footprint when the thread's guard provably
+        fails in the decision state).  Refinement only ever adds
+        independence: the method-level verdict is consulted first.
+        """
+        if self.independent(method_a, method_b):
+            return True
+        if refined_a is None and refined_b is None:
+            return False
+        fp_a = refined_a if refined_a is not None else self.footprints.get(method_a)
+        fp_b = refined_b if refined_b is not None else self.footprints.get(method_b)
+        if fp_a is None or fp_b is None:
+            return False
+        return footprints_independent(fp_a, fp_b)
 
     @property
     def trivial(self) -> bool:
@@ -200,8 +258,14 @@ class IndependenceRelation:
         return not any(self._table.values())
 
 
-#: A sleep-set entry: a deferred (thread id, pending method) transition.
-SleepEntry = Tuple[int, str]
+#: A sleep-set entry: a deferred (thread id, pending method, call args,
+#: wait key) transition.  ``args`` lets the value-sensitive independence
+#: layer keep a deferred transition asleep past segments its *instantiated*
+#: call commutes with even though the methods conflict symbolically;
+#: ``wait_key`` is non-None when the deferred transition was proven (from
+#: the decision state) to be a pure wait entry on that condition, shrinking
+#: its footprint to the guard reads plus the wait.
+SleepEntry = Tuple[int, str, tuple, Optional[str]]
 
 
 class DporStrategy:
@@ -221,15 +285,27 @@ class DporStrategy:
     """
 
     def __init__(self, prefix: Sequence[int], sleep: FrozenSet[SleepEntry],
-                 independence: IndependenceRelation):
+                 independence: IndependenceRelation, checker=None):
         self.prefix = tuple(prefix)
         self.sleep: Set[SleepEntry] = set(sleep)
         self.independence = independence
+        #: Optional context-sensitive dependence test built by the engine:
+        #: ``checker(entry, method, args, extent_key) -> bool`` returns True
+        #: when the executed segment (a pure wait entry on *extent_key* when
+        #: that is non-None) is independent of the sleeping entry.  Falls
+        #: back to the method-level relation when absent.
+        self.checker = checker
         self._position = 0
+        #: The just-granted segment awaiting its extent: (method, args).
+        #: Sleep-set wake-ups are applied *after* the segment runs, when its
+        #: actual extent (pure wait entry or full method) is known — the
+        #: context-sensitive sleep-set update.
+        self._pending_segment: Optional[Tuple[str, tuple]] = None
         #: Sleep set snapshot per recorded decision index >= len(prefix).
         self.fresh_sleeps: List[FrozenSet[SleepEntry]] = []
 
     def choose(self, kind: str, candidates: Tuple[int, ...]) -> int:
+        self._flush_segment()
         if self._position < len(self.prefix):
             choice = self.prefix[self._position]
             self._position += 1
@@ -238,25 +314,44 @@ class DporStrategy:
         self.fresh_sleeps.append(frozenset(self.sleep))
         if kind != "grant":
             return 0
-        asleep = {tid for tid, _method in self.sleep}
+        asleep = {entry[0] for entry in self.sleep}
         for index, tid in enumerate(candidates):
             if tid not in asleep:
                 return index
         raise AbortRun("sleep-set")
 
-    def observe_grant(self, tid: int, method: str) -> None:
-        """A segment by *tid*/*method* is about to run: update the sleep set."""
+    def observe_grant(self, tid: int, method: str, args: tuple = ()) -> None:
+        """A segment by *tid*/*method* is about to run."""
+        self._flush_segment()
         if self._position < len(self.prefix):
             # Replayed prefix segments were already reflected in the sleep
             # set this strategy was seeded with.
             return
-        if any(entry_tid == tid for entry_tid, _m in self.sleep):
+        if any(entry[0] == tid for entry in self.sleep):
             # The sole contender is asleep: this continuation re-explores a
             # subtree some sibling already covered.
             raise AbortRun("sleep-set")
+        self._pending_segment = (method, tuple(args))
+
+    def observe_extent(self, wait_key: Optional[str]) -> None:
+        """The granted segment finished; *wait_key* is non-None when it was a
+        pure wait entry (guard evaluation + sleep, nothing else).  Apply the
+        delayed sleep-set wake-up with the segment's actual extent."""
+        self._flush_segment(wait_key)
+
+    def _flush_segment(self, wait_key: Optional[str] = None) -> None:
+        pending = self._pending_segment
+        self._pending_segment = None
+        if pending is None:
+            return
+        method, args = pending
         independent = self.independence.independent
-        self.sleep = {entry for entry in self.sleep
-                      if independent(entry[1], method)}
+        checker = self.checker
+        self.sleep = {
+            entry for entry in self.sleep
+            if independent(entry[1], method)
+            or (checker is not None and checker(entry, method, args, wait_key))
+        }
 
 
 def make_strategy(name: str, seed: int, depth: int = 3,

@@ -38,6 +38,8 @@ class CompileTimeRow:
     broadcasts: int
     cache_hits: int = 0
     cache_misses: int = 0
+    commute_cache_hits: int = 0
+    commute_cache_misses: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -62,6 +64,8 @@ def _compile_row(spec: BenchmarkSpec, use_commutativity: bool) -> CompileTimeRow
         broadcasts=result.placement.broadcast_count(),
         cache_hits=result.solver_statistics.get("cache_hits", 0),
         cache_misses=result.solver_statistics.get("cache_misses", 0),
+        commute_cache_hits=result.solver_statistics.get("commute_cache_hits", 0),
+        commute_cache_misses=result.solver_statistics.get("commute_cache_misses", 0),
     )
 
 

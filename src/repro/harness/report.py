@@ -140,7 +140,8 @@ def render_explore_table(results: Sequence) -> str:
     lines.append("Benchmark".ljust(30) + "Discipline".ljust(12) + "Strategy".ljust(10)
                  + "Schedules".ljust(11) + "Sched/s".ljust(10)
                  + "Completed".ljust(11) + "Stalls".ljust(8)
-                 + "Pruned".ljust(8) + "POR-skip".ljust(10) + "Verdict")
+                 + "Pruned".ljust(8) + "POR-skip".ljust(10)
+                 + "Sym-skip".ljust(10) + "Verdict")
     failures = 0
     for result in results:
         verdict = "ok"
@@ -161,6 +162,7 @@ def render_explore_table(results: Sequence) -> str:
             + str(result.stalls).ljust(8)
             + str(result.pruned).ljust(8)
             + str(getattr(result, "por_skipped", 0)).ljust(10)
+            + str(getattr(result, "symmetry_skipped", 0)).ljust(10)
             + verdict
         )
     lines.append("-" * len(header))

@@ -61,6 +61,9 @@ class ExpressoResult:
             f"analysis time      : {self.elapsed_seconds:.3f}s",
             f"validity queries   : {self.solver_statistics.get('validity_queries', 0)}",
             f"solver cache       : {hits} hits / {misses} misses{hit_rate}",
+            f"commute cache      : "
+            f"{self.solver_statistics.get('commute_cache_hits', 0)} hits / "
+            f"{self.solver_statistics.get('commute_cache_misses', 0)} misses",
         ]
         return "\n".join(lines)
 

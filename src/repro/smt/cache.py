@@ -36,7 +36,7 @@ working set is the current benchmark's VC family.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.logic.terms import Expr
 
@@ -65,6 +65,14 @@ class FormulaCache:
         self._canonical: Dict[Expr, CachedResult] = {}
         self.hits = 0
         self.misses = 0
+        # Commutativity verdicts (`bodies_commute` and the exploration-side
+        # semantic-independence checks) are whole *procedures* — several
+        # validity queries folded into one boolean — so they memoize above
+        # the formula level, keyed by the (structurally hashed) statement
+        # pair plus the shared-name set the comparison ranged over.
+        self._commute: Dict[Hashable, bool] = {}
+        self.commute_hits = 0
+        self.commute_misses = 0
 
     # -- lookups -------------------------------------------------------------
 
@@ -106,13 +114,32 @@ class FormulaCache:
             table.pop(next(iter(table)))
         table[key] = entry
 
+    # -- commutativity verdicts ----------------------------------------------
+
+    def lookup_commute(self, key: Hashable) -> Optional[bool]:
+        """Memoized verdict of one commutativity/independence check."""
+        verdict = self._commute.get(key)
+        if verdict is None:
+            self.commute_misses += 1
+        else:
+            self.commute_hits += 1
+        return verdict
+
+    def store_commute(self, key: Hashable, verdict: bool) -> None:
+        if key not in self._commute and len(self._commute) >= self.max_entries:
+            self._commute.pop(next(iter(self._commute)))
+        self._commute[key] = verdict
+
     # -- maintenance / reporting ---------------------------------------------
 
     def clear(self) -> None:
         self._raw.clear()
         self._canonical.clear()
+        self._commute.clear()
         self.hits = 0
         self.misses = 0
+        self.commute_hits = 0
+        self.commute_misses = 0
 
     def __len__(self) -> int:
         return len(self._canonical)
@@ -127,4 +154,7 @@ class FormulaCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_entries": len(self._canonical),
+            "commute_cache_hits": self.commute_hits,
+            "commute_cache_misses": self.commute_misses,
+            "commute_cache_entries": len(self._commute),
         }

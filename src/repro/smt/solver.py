@@ -108,6 +108,8 @@ class Solver:
             "cache_hits": 0,
             "cache_misses": 0,
             "theory_lemmas": 0,
+            "commute_cache_hits": 0,
+            "commute_cache_misses": 0,
         }
         self._atom_table = AtomTable()
         self._theory_lemmas: List[Tuple[int, ...]] = []

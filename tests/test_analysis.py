@@ -145,6 +145,114 @@ class TestSymbolicExecutionAndCommutativity:
         _method, put_ccr = monitor.ccrs()[0]
         assert ccr_commutes_with_all(put_ccr, monitor)
 
+    def test_commute_verdicts_are_memoized(self):
+        from repro.smt.cache import FormulaCache
+
+        solver = Solver(cache=FormulaCache())
+        first, second = Assign("x", add(x, 1)), Assign("x", sub(x, 1))
+        assert bodies_commute(first, second, solver)
+        misses = solver.cache.commute_misses
+        assert misses >= 1
+        assert bodies_commute(first, second, solver)
+        assert solver.cache.commute_misses == misses
+        assert solver.cache.commute_hits >= 1
+        assert solver.statistics["commute_cache_hits"] >= 1
+        stats = solver.cache.statistics()
+        assert stats["commute_cache_entries"] >= 1
+
+
+class TestSemanticSegmentIndependence:
+    """Exploration-side independence: edge cases the DPOR layer relies on."""
+
+    def _independent(self, guard_a, body_a, guard_b, body_b, shared,
+                     notifs_a=(), notifs_b=()):
+        from repro.analysis import segments_semantically_independent
+
+        return segments_semantically_independent(
+            guard_a, body_a, guard_b, body_b, frozenset(shared),
+            notifications_a=notifs_a, notifications_b=notifs_b)
+
+    def test_loops_are_conservatively_dependent(self):
+        from repro.logic import TRUE
+
+        loop = While(gt(x, i(0)), Assign("x", sub(x, 1)))
+        assert not self._independent(TRUE, loop, TRUE, Assign("x", sub(x, 1)),
+                                     {"x"})
+
+    def test_array_writes_at_symbolic_indices_are_dependent(self):
+        from repro.lang.ast import ArrayAssign
+        from repro.logic import TRUE
+
+        write_i = ArrayAssign("buffer", v("idxOne"), i(1))
+        write_j = ArrayAssign("buffer", v("idxTwo"), i(2))
+        assert not self._independent(TRUE, write_i, TRUE, write_j, {"buffer"})
+
+    def test_guard_enabledness_side_condition(self):
+        """Bodies commute on state, but one flips the other's guard: the
+        pair must stay dependent (the wake/block behaviour is observable)."""
+        from repro.logic import TRUE
+
+        increment = Assign("x", add(x, 1))
+        assert not self._independent(TRUE, increment, ge(x, i(1)), Skip(),
+                                     {"x"})
+        # An unrelated guard is preserved and the pair commutes.
+        assert self._independent(TRUE, increment, ge(y, i(1)), Skip(),
+                                 {"x", "y"})
+
+    def test_same_method_locals_are_not_conflated(self):
+        """Two threads in the same method must not share their locals:
+        ``last = x`` against a renamed copy of itself does not commute."""
+        from repro.lang.ast import LocalDecl
+        from repro.logic import TRUE
+        from repro.logic.terms import INT
+
+        body = seq(LocalDecl("seen", INT, v("shared")),
+                   Assign("shared", add(v("shared"), 1)))
+        assert not self._independent(TRUE, body, TRUE, body, {"shared"})
+
+    def test_forced_predicate_is_order_insensitive(self):
+        """A notification predicate the body forces true (wp-composed check)
+        fires identically in both orders even though the raw predicate is
+        not preserved."""
+        from repro.logic import TRUE
+
+        body = Assign("flag", i(1))
+        fires = ge(v("flag"), i(1))
+        assert self._independent(
+            TRUE, body, TRUE, body, {"flag"},
+            notifs_a=((fires, True, False),), notifs_b=((fires, True, False),))
+
+    def test_monotone_broadcasts_may_shift_but_signals_may_not(self):
+        from repro.logic import TRUE
+
+        free_one = Assign("slotsFree", add(v("slotsFree"), 1))
+        ready = ge(v("slotsFree"), i(2))
+        broadcast = ((ready, True, True),)
+        signal = ((ready, True, False),)
+        # Both sides broadcast a predicate neither ever falsifies: the fire
+        # may move between the adjacent segments, the woken set cannot.
+        assert self._independent(TRUE, free_one, TRUE, free_one, {"slotsFree"},
+                                 notifs_a=broadcast, notifs_b=broadcast)
+        # The same shape with wake-one signals stays dependent.
+        assert not self._independent(TRUE, free_one, TRUE, free_one,
+                                     {"slotsFree"},
+                                     notifs_a=signal, notifs_b=signal)
+
+    def test_value_sensitive_calls(self):
+        """Symbolically conflicting calls may commute at concrete args."""
+        from repro.analysis import calls_semantically_independent
+        from repro.harness.saturation import expresso_result
+        from repro.benchmarks_lib import get_benchmark
+
+        explicit = expresso_result(get_benchmark("Dining Philosophers")).explicit
+        shared = frozenset(decl.name for decl in explicit.fields)
+        put_down = explicit.method("putDown")
+        pick_up = explicit.method("pickUp")
+        assert calls_semantically_independent(
+            put_down, (0, 1), put_down, (0, 1), shared)
+        assert not calls_semantically_independent(
+            put_down, (0, 1), pick_up, (1, 2), shared)
+
 
 class TestAbduction:
     def test_readers_writers_abduction_finds_nonnegativity(self):

@@ -98,10 +98,12 @@ class TestDporSoundness:
         assert por.schedules_run <= plain.schedules_run
         assert por.completed == por.schedules_run - por.stalls
 
-    @pytest.mark.parametrize("name", ["BoundedBuffer", "Readers-Writers",
-                                      "Sleeping Barber", "SimpleDecoder"])
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
     def test_mutant_counterexamples_match(self, name):
-        """Every dropped signal yields the same verdict set both ways."""
+        """The full notification-deletion soundness sweep: every placed
+        notification of every benchmark, dropped, must yield the same
+        verdict set under plain enumeration, syntactic DPOR and the full
+        semantic DPOR (SMT independence + value sensitivity + symmetry)."""
         spec = get_benchmark(name)
         compiled = expresso_result(spec)
         programs = spec.workload(3, 2)
@@ -111,25 +113,62 @@ class TestDporSoundness:
             mutant = compiled.explicit.without_notification(*site)
             plain = explore_explicit(mutant, compiled.monitor, programs,
                                      por=False, **kwargs)
+            syntactic = explore_explicit(mutant, compiled.monitor, programs,
+                                         por=True, semantic=False,
+                                         symmetry=False, **kwargs)
             por = explore_explicit(mutant, compiled.monitor, programs,
                                    por=True, **kwargs)
-            assert plain.exhausted and por.exhausted, (name, site)
-            assert _verdict_kinds(plain) == _verdict_kinds(por), (name, site)
+            assert plain.exhausted and syntactic.exhausted and por.exhausted, \
+                (name, site)
+            assert (_verdict_kinds(plain) == _verdict_kinds(syntactic)
+                    == _verdict_kinds(por)), (name, site)
 
     def test_suite_reduction_is_at_least_tenfold(self):
-        """The acceptance bar: >=10x fewer judged schedules at 3 threads."""
-        total_plain = total_por = 0
+        """The PR 3 acceptance bar: >=10x fewer judged schedules at 3
+        threads, now also requiring the semantic layer to beat the
+        syntactic baseline by a healthy margin (1.5x aggregate; the
+        measured value is ~1.75x, see BENCH_history.md)."""
+        total_plain = total_syntactic = total_por = 0
         for name in ALL_BENCHMARKS:
             spec = get_benchmark(name)
             kwargs = dict(threads=3, ops=3, strategy="dfs", budget=50_000,
                           minimize=False, stop_on_failure=False)
             plain = explore_benchmark(spec, "expresso", por=False, **kwargs)
+            syntactic = explore_benchmark(spec, "expresso", por=True,
+                                          semantic=False, symmetry=False,
+                                          **kwargs)
             por = explore_benchmark(spec, "expresso", por=True, **kwargs)
-            assert plain.exhausted and por.exhausted
-            assert plain.ok and por.ok
+            assert plain.exhausted and syntactic.exhausted and por.exhausted
+            assert plain.ok and syntactic.ok and por.ok
             total_plain += plain.schedules_run
+            total_syntactic += syntactic.schedules_run
             total_por += por.schedules_run
         assert total_plain >= 10 * total_por, (total_plain, total_por)
+        assert 2 * total_syntactic >= 3 * total_por, \
+            (total_syntactic, total_por)
+
+    def test_symmetry_reduction_preserves_verdicts(self):
+        """Identical-thread wake orders collapse; verdict sets survive."""
+        spec = get_benchmark("H2O Barrier")
+        kwargs = dict(threads=3, ops=3, strategy="dfs", budget=50_000,
+                      minimize=False, stop_on_failure=False)
+        full = explore_benchmark(spec, "expresso", por=True, **kwargs)
+        no_sym = explore_benchmark(spec, "expresso", por=True, symmetry=False,
+                                   **kwargs)
+        assert full.exhausted and no_sym.exhausted
+        assert _verdict_kinds(full) == _verdict_kinds(no_sym)
+        assert full.schedules_run <= no_sym.schedules_run
+        assert full.symmetry_skipped > 0
+
+    def test_symmetry_skips_catch_mutant_bugs(self, buffer_spec, buffer_result):
+        """Symmetric-thread collapsing must not hide an injected bug."""
+        mutant = buffer_result.explicit.without_notification("put#0", 0)
+        programs = buffer_spec.workload(3, 2)
+        full = explore_explicit(mutant, buffer_result.monitor, programs,
+                                strategy="dfs", budget=50_000, minimize=False,
+                                stop_on_failure=False)
+        assert full.exhausted
+        assert "lost-wakeup" in _verdict_kinds(full)
 
     def test_four_thread_config_becomes_exhaustible(self):
         """Readers-Writers 4x3 exceeds a 20k budget plainly; DPOR finishes."""
@@ -261,6 +300,49 @@ class TestParallel:
         assert sequential.exhausted and sharded.exhausted
         assert sequential.ok and sharded.ok
 
+    def test_shared_store_probe_and_flush(self):
+        """SharedStateStore semantics against a plain dict stand-in."""
+        from repro.explore import SharedStateStore
+
+        backing: dict = {}
+        first = SharedStateStore(backing, flush_every=2)
+        assert first.probe(1) is False
+        assert first.probe(2) is False      # triggers a flush
+        assert backing == {1: True, 2: True}
+        assert first.probe(1) is True       # now in the local snapshot
+        second = SharedStateStore(backing, flush_every=2)
+        assert second.probe(1) is True      # constructor pulled the snapshot
+        second.probe(3)
+        second.flush()
+        assert 3 in backing
+
+    def test_shared_store_shards_stay_sound(self, buffer_spec):
+        """Cross-worker state sharing keeps exhaustion and verdict sets."""
+        spec = get_benchmark("Readers-Writers")
+        monitor, coop_class = coop_monitor_and_class(spec, "expresso")
+        programs = spec.workload(3, 2)
+        kwargs = dict(strategy="dfs", budget=50_000, minimize=False,
+                      stop_on_failure=False, workers=3,
+                      benchmark="Readers-Writers")
+        private = parallel_explore_class(monitor, coop_class, programs,
+                                         share_states=False, **kwargs)
+        shared = parallel_explore_class(monitor, coop_class, programs, **kwargs)
+        assert private.exhausted and shared.exhausted
+        assert private.ok and shared.ok
+        assert shared.schedules_run <= private.schedules_run
+
+    def test_shared_store_shards_catch_mutant_bugs(self, buffer_spec,
+                                                   buffer_result):
+        mutant = buffer_result.explicit.without_notification("put#0", 0)
+        coop_class = coop_class_for_explicit(mutant)
+        programs = buffer_spec.workload(2, 2)
+        result = parallel_explore_class(
+            buffer_result.monitor, coop_class, programs, strategy="dfs",
+            budget=5000, workers=2, benchmark="BoundedBuffer",
+            discipline="mutant", stop_on_failure=False, minimize=False)
+        assert not result.ok
+        assert {f.kind for f in result.failures} == {"lost-wakeup"}
+
     def test_dfs_sharding_splits_the_budget(self):
         """--schedules caps *total* judged schedules, as sequentially."""
         spec = get_benchmark("Readers-Writers")
@@ -363,6 +445,23 @@ class TestExploreCliFlags:
         decoded = json.loads(capsys.readouterr().out)
         assert rc == 0
         assert decoded["results"][0]["exhausted"] is True
+
+    def test_semantic_and_symmetry_flags(self, capsys):
+        """--no-semantic-por/--no-symmetry reproduce the syntactic baseline;
+        the default run judges no more schedules than it."""
+        args = ["explore", "--benchmark", "H2O Barrier", "--strategy", "dfs",
+                "--threads", "3", "--ops", "3", "--schedules", "50000",
+                "--json"]
+        rc = cli_main(args)
+        semantic = json.loads(capsys.readouterr().out)["results"][0]
+        assert rc == 0
+        rc = cli_main(args + ["--no-semantic-por", "--no-symmetry"])
+        syntactic = json.loads(capsys.readouterr().out)["results"][0]
+        assert rc == 0
+        assert semantic["exhausted"] and syntactic["exhausted"]
+        assert semantic["schedules_run"] <= syntactic["schedules_run"]
+        assert semantic["symmetry_skipped"] > 0
+        assert syntactic["symmetry_skipped"] == 0
 
     def test_workers_flag_merges_counts(self, capsys):
         rc = cli_main(["explore", "--benchmark", "BoundedBuffer",
