@@ -157,8 +157,10 @@ def _measure_reduction(suite, threads, ops, budget) -> dict:
 
 
 def _measure_shared_store(suite, threads, ops, budget, workers) -> dict:
-    """Sharded DFS campaigns: PR 3 regime (private shard memos, syntactic
-    POR) vs the shared cross-worker visited-state store with semantic POR."""
+    """Sharded DFS campaigns: private shard memos vs the shared cross-worker
+    visited-state store.  Both sides run the full semantic configuration —
+    the only varied knob is ``share_states``, so the ratio isolates the
+    store's own contribution (not semantic POR's)."""
     from repro.explore.parallel import parallel_explore_class
 
     rows = []
@@ -170,7 +172,6 @@ def _measure_shared_store(suite, threads, ops, budget, workers) -> dict:
         kwargs = dict(strategy="dfs", budget=budget, minimize=False,
                       stop_on_failure=False, workers=workers, benchmark=name)
         private = parallel_explore_class(monitor, coop_class, programs,
-                                         semantic=False, symmetry=False,
                                          share_states=False, **kwargs)
         shared = parallel_explore_class(monitor, coop_class, programs, **kwargs)
         total_private += private.schedules_run

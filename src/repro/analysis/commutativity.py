@@ -280,12 +280,15 @@ def _notifications_equivalent(own_body: Stmt,
       orders.  (A predicate its own body *forces*, like "my forks are free"
       after putting them down, is then trivially preserved.)
     * **monotone broadcast** — the fire may shift between the two adjacent
-      segments, but when every notification either side places on this
-      predicate is a broadcast and neither body ever *falsifies* the
-      predicate (``valid(p => wp(body, p))``), "some broadcast fired across
-      the pair" — and hence the woken set, all sleepers of the condition —
-      is the same in both orders, and nothing can observe the intermediate
-      point of an adjacent swap.
+      segments: when the *other* segment also places at least one
+      notification on this predicate, every notification either side places
+      on it is a broadcast, and neither body ever *falsifies* the predicate
+      (``valid(p => wp(body, p))``), then the last check in either order
+      runs in the common final state, so "some broadcast fired across the
+      pair" — and hence the woken set, all sleepers of the condition — is
+      the same in both orders.  Without a compensating other-side broadcast
+      the rule does not apply: the other body may *enable* the predicate,
+      making the lone broadcast fire in one order only.
     """
     for predicate, conditional, broadcast in own_notifications:
         others_on_pred = [n for n in other_notifications if n[0] == predicate]
@@ -305,7 +308,8 @@ def _notifications_equivalent(own_body: Stmt,
             return False
         if _guard_preserved(other_body, composed, solver):
             continue
-        if not broadcast or any(not n[2] for n in others_on_pred):
+        if (not broadcast or not others_on_pred
+                or any(not n[2] for n in others_on_pred)):
             return False
         if not (_never_falsifies(own_body, predicate, solver)
                 and _never_falsifies(other_body, predicate, solver)):
@@ -449,12 +453,15 @@ def semantic_independence_for_explicit(
         explicit, solver: Optional[Solver] = None) -> Dict[Tuple[str, str], bool]:
     """The semantic-independence matrix of a placed monitor's methods.
 
-    Entries cover *state-level* independence only (bodies commute, guards
-    preserved); condition-variable interactions (who signals what) change
-    under notification mutation, so the exploration layer re-checks those
-    syntactically per class.  The matrix is symmetric and includes self
-    pairs — two threads in the same method commute iff the method's body
-    commutes with a renamed copy of itself.
+    Entries prove bodies commute, guards are preserved *and* the pair's
+    placed notifications fire order-equivalently — the proof that licenses
+    the exploration layer's relaxed shared-signal gating
+    (``condition_vars_compatible(..., allow_shared_signals=True)``).  The
+    matrix is therefore notification-sensitive: campaigns that mutate
+    notifications (e.g. the deletion sweep) must recompute it per mutant
+    rather than reuse the parent's.  The matrix is symmetric and includes
+    self pairs — two threads in the same method commute iff the method's
+    body commutes with a renamed copy of itself.
     """
     solver = solver or _default_solver()
     shared = frozenset(decl.name for decl in explicit.fields)

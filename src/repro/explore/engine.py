@@ -332,23 +332,27 @@ class ValueIndependence:
 
 def coop_class_for_explicit(explicit: ExplicitMonitor,
                             class_name: str = "CoopMonitor",
-                            solver=None) -> type:
+                            solver=None, semantic: bool = True) -> type:
     """Materialize the scheduler-targeting class for a placed monitor.
 
     Both reduction artifacts — the syntactic per-method footprints and the
     SMT-proven semantic-independence matrix — are computed here and *emitted
     into the generated source* as class attributes, so parallel workers that
     rebuild the class from shipped source inherit them without re-running
-    any analysis.  *solver* optionally reuses a caller's (cached) solver for
-    the commutativity queries; by default the commutativity module's shared
-    solver memoizes verdicts across every class built in the process.
+    any analysis.  ``semantic=False`` skips the matrix (a full round of
+    solver queries) for callers whose exploration cannot consult it —
+    plain enumeration, syntactic-only DPOR, sampling strategies.  *solver*
+    optionally reuses a caller's (cached) solver for the commutativity
+    queries; by default the commutativity module's shared solver memoizes
+    verdicts across every class built in the process.
     """
     from repro.analysis.commutativity import semantic_independence_for_explicit
 
     footprints = footprints_for_explicit(explicit)
-    semantic = semantic_independence_for_explicit(explicit, solver=solver)
+    matrix = (semantic_independence_for_explicit(explicit, solver=solver)
+              if semantic else None)
     source = generate_python_explicit(explicit, class_name=class_name, coop=True,
-                                      footprints=footprints, semantic=semantic)
+                                      footprints=footprints, semantic=matrix)
     cls = materialize_class(source, class_name)
     cls._coop_source = source
     # AST-bearing artifacts cannot be embedded in source text; parallel
@@ -465,8 +469,8 @@ class ExplorationResult:
     oracle_misses: int = 0
     elapsed_seconds: float = 0.0
     failures: List[Counterexample] = field(default_factory=list)
-    #: Stable 64-bit hashes of the visited-state set (only populated when the
-    #: engine is asked to export them, e.g. to union shard coverage).
+    #: Stable 128-bit hashes of the visited-state set (only populated when
+    #: the engine is asked to export them, e.g. to union shard coverage).
     state_hashes: Optional[List[int]] = field(default=None, repr=False)
 
     @property
@@ -858,10 +862,18 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
                             "dfs", None, max_steps, minimize)
             if stop_on_failure:
                 stopped = True
-    if shared_store is not None:
-        shared_store.flush()
     outcome.exhausted = not stack
     outcome.budget_exhausted = bool(stack)
+    if shared_store is not None and outcome.exhausted and outcome.ok:
+        # Only a fully drained, failure-free shard may publish.  Siblings
+        # prune published states as covered subtrees, so a shard stopped
+        # early (budget, work cap, stop-on-failure) must keep its states
+        # private — and so must a failing shard, or a sibling sharing the
+        # failure's region would prune instead of recording its own copy,
+        # making the merged failure list timing-dependent.  A clean
+        # exhausted shard's states root failure-free subtrees, so pruning
+        # them can never suppress a counterexample.
+        shared_store.publish()
 
 
 def explore_class(monitor: Monitor, coop_class: type, programs,
@@ -884,8 +896,10 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
     the top-level decision this way).  ``export_state_hashes`` populates
     ``result.state_hashes`` with stable hashes of the visited states so
     shard coverage can be unioned across processes; ``shared_store``
-    (an object with ``probe(hash) -> bool`` and ``flush()``) lets DFS
-    shards skip states other workers already explored.
+    (an object with ``probe(hash) -> bool`` and ``publish()``) lets DFS
+    shards skip states other workers fully explored — states are published
+    only when this exploration drains its whole search space without
+    recording a failure.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
@@ -921,17 +935,36 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
 
 
 def _stable_hash(fingerprint: tuple) -> int:
-    """A process-stable 64-bit hash of a state fingerprint."""
+    """A process-stable 128-bit hash of a state fingerprint.
+
+    These hashes gate cross-shard subtree pruning (a shared-store hit skips
+    a state's whole subtree), so the digest is kept wide enough that a
+    collision between distinct states is out of the picture — 64 bits was
+    fine for coverage statistics but not for pruning decisions.
+    """
     import hashlib
 
-    digest = hashlib.blake2b(repr(fingerprint).encode(), digest_size=8)
+    digest = hashlib.blake2b(repr(fingerprint).encode(), digest_size=16)
     return int.from_bytes(digest.digest(), "big")
 
 
 def explore_explicit(explicit: ExplicitMonitor, reference: Monitor, programs,
                      **kwargs) -> ExplorationResult:
-    """Explore an arbitrary placed monitor (mutants, fuzzer output, ...)."""
-    coop_class = coop_class_for_explicit(explicit)
+    """Explore an arbitrary placed monitor (mutants, fuzzer output, ...).
+
+    The semantic matrix is only built when the requested configuration can
+    consult it (DFS with ``por`` and ``semantic`` both on).
+    """
+    import inspect
+
+    defaults = inspect.signature(explore_class).parameters
+
+    def option(name: str):
+        return kwargs.get(name, defaults[name].default)
+
+    wants_semantic = (option("strategy") == "dfs"
+                      and option("por") and option("semantic"))
+    coop_class = coop_class_for_explicit(explicit, semantic=wants_semantic)
     kwargs.setdefault("benchmark", reference.name)
     kwargs.setdefault("discipline", "explicit")
     return explore_class(reference, coop_class, programs, **kwargs)

@@ -13,10 +13,16 @@ only care is determinism of the *reported* result:
   alternatives as DFS root prefixes.  Shards keep private visited-state sets
   (coverage is unioned via stable state hashes) **and additionally share a
   cross-worker visited-fingerprint memo** — a multiprocessing manager dict
-  that each shard's merge probe consults through
-  :class:`SharedStateStore`'s batched flushes — so shards stop re-exploring
-  (and re-judging) each other's overlap.  The merged failure list is
-  ordered by (shard, discovery order).
+  each shard's merge probe consults through :class:`SharedStateStore` — so
+  shards stop re-exploring (and re-judging) overlap that a shard *completed
+  failure-free*.  Publication is gated on clean completion (see
+  :class:`SharedStateStore`), which keeps the failure list and the
+  combined coverage independent of scheduling timing.  Statistics are
+  not: judged/pruned/shared-hit counts — and, under budgets tight enough
+  that pruning decides whether a shard drains, the per-shard ``exhausted``
+  flags — depend on which shards finish first, so assert verdicts, never
+  exact counts, for ``workers > 1``.  The merged failure list is ordered
+  by (shard, discovery order).
 
 Workers never recompile the monitor: the parent ships the *generated coop
 class source* (plus the reference AST, POR footprints, semantic matrix and
@@ -63,50 +69,65 @@ def default_workers() -> int:
 
 
 class SharedStateStore:
-    """A cross-process visited-fingerprint memo with batched flushes.
+    """A cross-process visited-fingerprint memo with completion-gated publishes.
 
-    DFS shards keep their (fast, process-local) ``seen`` sets; on top, every
-    shard publishes the stable hashes of its fresh states to one manager
-    dict and learns the other shards' hashes back.  Round-trips to the
-    manager process are expensive, so traffic is batched: a shard buffers
-    ``flush_every`` fresh hashes before pushing them, and refreshes its
-    local snapshot of foreign hashes on the same cadence.  ``probe`` errs
-    on the side of ``False`` (state not known elsewhere) between flushes —
-    a shard then merely re-explores a little overlap, never skips coverage.
+    DFS shards keep their (fast, process-local) ``seen`` sets; on top, a
+    shard buffers the stable hashes of its fresh states and — only once its
+    whole slice of the search is drained without failures (:meth:`publish`,
+    called by the engine when the DFS stack empties and the shard judged
+    every schedule clean) — pushes them to one manager dict.
+    In the meantime it refreshes its local snapshot of foreign hashes every
+    ``refresh_every`` probes.  Gating publication on completion is what
+    keeps cross-shard pruning sound: a sibling treats a published state as
+    a fully covered, failure-free subtree, so the publishing shard must
+    actually have drained it clean — which a shard stopped early (budget
+    split, work cap, stop-on-failure) or one that recorded a failure has
+    not.  ``probe`` errs on the side of ``False``
+    (state not known elsewhere) between refreshes — a shard then merely
+    re-explores a little overlap, never skips coverage.
     """
 
-    def __init__(self, store, flush_every: int = 32):
+    def __init__(self, store, refresh_every: int = 32):
         self._store = store            # multiprocessing.Manager().dict()
-        self.flush_every = max(int(flush_every), 1)
+        self.refresh_every = max(int(refresh_every), 1)
         self._snapshot: set = set()
         self._pending: List[int] = []
-        self.flushes = 0
-        self.flush()                   # pull whatever earlier shards published
+        self._probes = 0
+        self.refreshes = 0
+        self.refresh()                 # pull what completed shards published
 
     def probe(self, state_hash: int) -> bool:
-        """Publish *state_hash*; True when another shard already had it.
-
-        A flush triggered here must not re-test the hash: the refreshed
-        snapshot now contains the shard's *own* batch, and a state first
-        visited locally is the local shard's to explore.
-        """
+        """Buffer *state_hash*; True when a *completed* shard published it."""
+        self._probes += 1
+        if self._probes % self.refresh_every == 0:
+            self.refresh()
         if state_hash in self._snapshot:
             return True
         self._pending.append(state_hash)
-        if len(self._pending) >= self.flush_every:
-            self.flush()
         return False
 
-    def flush(self) -> None:
-        if self._pending:
-            self._store.update(dict.fromkeys(self._pending, True))
-            self._pending.clear()
+    def refresh(self) -> None:
+        """Re-pull the local snapshot of published foreign hashes."""
         try:
             self._snapshot = set(self._store.keys())
         except (EOFError, BrokenPipeError, ConnectionError):
             # The manager is gone (driver tearing down): degrade to local.
             self._snapshot = set()
-        self.flushes += 1
+        self.refreshes += 1
+
+    def publish(self) -> None:
+        """Push the buffered hashes to the shared dict.
+
+        Callers must only publish when the shard's search is fully drained:
+        sibling shards prune published states as covered subtrees.
+        """
+        if not self._pending:
+            return
+        try:
+            self._store.update(dict.fromkeys(self._pending, True))
+        except (EOFError, BrokenPipeError, ConnectionError):
+            pass
+        self._pending.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -149,10 +170,11 @@ def _run_shard(job: dict) -> ExplorationResult:
 def _run_mutant(job: dict) -> dict:
     """Explore one notification-deleted mutant (executed in a pool process).
 
-    The semantic matrix is computed once per *benchmark* in the driver and
-    reused verbatim: deleting a notification changes no body and no guard,
-    and the condition-variable compatibility the matrix deliberately leaves
-    out is re-derived here from the mutant's own (reduced) footprints.
+    The driver computes the semantic matrix *per mutant*: matrix entries may
+    rest on notification-order proofs (the monotone-broadcast rule), so the
+    parent's matrix can overstate independence once a notification is
+    deleted.  The syntactic condition-variable gating additionally uses the
+    mutant's own (reduced) footprints, computed here.
     """
     mutant: ExplicitMonitor = job["mutant"]
     source = generate_python_explicit(mutant, class_name="CoopMonitor", coop=True)
@@ -287,11 +309,16 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         semantic=semantic, symmetry=symmetry)
     if workers <= 1 or source is None:
         return explore_class(monitor, coop_class, programs, **sequential_kwargs)
+    # Explicit coop sources embed footprints/matrix as class-attribute
+    # literals — rebuilding from source restores them, so ship them only
+    # for classes whose source does not (autosynch/implicit runtimes).
     base_job = {
         "class_source": source,
         "class_name": coop_class.__name__,
-        "footprints": getattr(coop_class, "_coop_footprints", None),
-        "semantic": getattr(coop_class, "_coop_semantic", None),
+        "footprints": (None if "_coop_footprints" in source
+                       else getattr(coop_class, "_coop_footprints", None)),
+        "semantic": (None if "_coop_semantic" in source
+                     else getattr(coop_class, "_coop_semantic", None)),
         "wait_info": getattr(coop_class, "_coop_wait_info", None),
         "explicit": getattr(coop_class, "_coop_explicit", None),
         "monitor": monitor,
@@ -437,21 +464,23 @@ def mutation_campaign(specs, threads: int = 3, ops: int = 2,
     jobs: List[dict] = []
     for spec in specs:
         compiled = expresso_result(spec, pipeline)
-        # One SMT pass per benchmark; every mutant shares the parent's
-        # matrix (bodies and guards are untouched by notification deletion).
-        semantic = semantic_independence_for_explicit(compiled.explicit)
         programs = [list(program) for program in spec.workload(threads, ops)]
         for site in compiled.explicit.notification_sites():
+            mutant = compiled.explicit.without_notification(*site)
+            # Matrix entries can rest on notification-order proofs (the
+            # monotone-broadcast rule), so each mutant gets its own matrix
+            # in the driver; the shared solver's commute memo makes every
+            # pair the deletion does not touch a cache hit.
             jobs.append({
                 "benchmark": spec.name,
                 "site": list(site),
-                "mutant": compiled.explicit.without_notification(*site),
+                "mutant": mutant,
                 "monitor": compiled.monitor,
                 "programs": programs,
                 "budget": budget,
                 "max_steps": max_steps,
                 "minimize": minimize,
-                "semantic": semantic,
+                "semantic": semantic_independence_for_explicit(mutant),
             })
     report = MutationReport(threads=threads, ops=ops, budget=budget,
                             workers=workers)

@@ -238,6 +238,21 @@ class TestSemanticSegmentIndependence:
                                      {"slotsFree"},
                                      notifs_a=signal, notifs_b=signal)
 
+    def test_lone_conditional_broadcast_needs_a_compensating_one(self):
+        """The monotone-broadcast rule must not pass vacuously: a conditional
+        broadcast whose predicate the *other* body can enable — with no
+        notification on that predicate from the other side to compensate —
+        fires in one order only (from count = -2, ``count += 2; count += 1``
+        wakes every sleeper of ``count > 0``, the reverse order wakes none)."""
+        from repro.logic import TRUE
+
+        bump_one = Assign("count", add(v("count"), 1))
+        bump_two = Assign("count", add(v("count"), 2))
+        positive = gt(v("count"), i(0))
+        assert not self._independent(
+            TRUE, bump_one, TRUE, bump_two, {"count"},
+            notifs_a=((positive, True, True),))
+
     def test_value_sensitive_calls(self):
         """Symbolically conflicting calls may commute at concrete args."""
         from repro.analysis import calls_semantically_independent

@@ -300,21 +300,58 @@ class TestParallel:
         assert sequential.exhausted and sharded.exhausted
         assert sequential.ok and sharded.ok
 
-    def test_shared_store_probe_and_flush(self):
-        """SharedStateStore semantics against a plain dict stand-in."""
+    def test_shared_store_publish_is_completion_gated(self):
+        """SharedStateStore semantics against a plain dict stand-in: probes
+        buffer locally and nothing is visible to siblings until the shard
+        drains its search and publishes."""
         from repro.explore import SharedStateStore
 
         backing: dict = {}
-        first = SharedStateStore(backing, flush_every=2)
+        first = SharedStateStore(backing, refresh_every=2)
         assert first.probe(1) is False
-        assert first.probe(2) is False      # triggers a flush
+        assert first.probe(2) is False
+        assert backing == {}                # unpublished: shard still running
+        first.publish()
         assert backing == {1: True, 2: True}
-        assert first.probe(1) is True       # now in the local snapshot
-        second = SharedStateStore(backing, flush_every=2)
+        second = SharedStateStore(backing, refresh_every=2)
         assert second.probe(1) is True      # constructor pulled the snapshot
-        second.probe(3)
-        second.flush()
+        assert second.probe(3) is False
+        second.publish()
         assert 3 in backing
+
+    def test_incomplete_or_failing_shards_do_not_publish_states(
+            self, buffer_spec, buffer_result):
+        """Siblings prune published states as fully covered, failure-free
+        subtrees: a budget-stopped shard and a shard that recorded a
+        failure must both keep their states private."""
+        from repro.explore import SharedStateStore
+
+        monitor, coop_class = coop_monitor_and_class(buffer_spec, "expresso")
+        programs = buffer_spec.workload(3, 2)
+        capped_backing: dict = {}
+        capped = explore_class(
+            monitor, coop_class, programs, strategy="dfs", budget=3,
+            minimize=False, stop_on_failure=False,
+            shared_store=SharedStateStore(capped_backing))
+        assert capped.budget_exhausted and not capped.exhausted
+        assert capped_backing == {}
+        full_backing: dict = {}
+        full = explore_class(
+            monitor, coop_class, programs, strategy="dfs", budget=50_000,
+            minimize=False, stop_on_failure=False,
+            shared_store=SharedStateStore(full_backing))
+        assert full.exhausted
+        assert len(full_backing) == full.distinct_states
+        mutant = buffer_result.explicit.without_notification("put#0", 0)
+        mutant_class = coop_class_for_explicit(mutant)
+        failing_backing: dict = {}
+        failing = explore_class(
+            buffer_result.monitor, mutant_class, buffer_spec.workload(2, 2),
+            strategy="dfs", budget=50_000, minimize=False,
+            stop_on_failure=False,
+            shared_store=SharedStateStore(failing_backing))
+        assert failing.exhausted and not failing.ok
+        assert failing_backing == {}
 
     def test_shared_store_shards_stay_sound(self, buffer_spec):
         """Cross-worker state sharing keeps exhaustion and verdict sets."""
@@ -364,6 +401,31 @@ class TestParallel:
             discipline="mutant")
         assert not result.ok
         assert result.failures[0].kind == "lost-wakeup"
+
+    def test_mutation_campaign_recomputes_matrices_per_mutant(
+            self, buffer_spec, monkeypatch):
+        """Matrix entries may rest on notification-order proofs (the
+        monotone-broadcast rule), so the driver must not ship the parent's
+        matrix to notification-deletion mutants."""
+        import repro.analysis.commutativity as commutativity
+
+        real = commutativity.semantic_independence_for_explicit
+        matrix_subjects = []
+
+        def counting(explicit, solver=None):
+            matrix_subjects.append(explicit)
+            return real(explicit, solver=solver)
+
+        monkeypatch.setattr(commutativity, "semantic_independence_for_explicit",
+                            counting)
+        report = mutation_campaign([buffer_spec], threads=2, ops=2,
+                                   budget=2000, workers=1, minimize=False)
+        assert report.ok
+        sites = list(expresso_result(buffer_spec).explicit.notification_sites())
+        assert len(matrix_subjects) == len(sites)
+        mutated = {len(subject.notification_sites())
+                   for subject in matrix_subjects}
+        assert mutated == {len(sites) - 1}   # every matrix saw the *mutant*
 
     def test_mutation_campaign_catches_or_proves_benign(self, buffer_spec):
         report = mutation_campaign([buffer_spec], threads=3, ops=2,
