@@ -1,0 +1,160 @@
+"""Coverage-guided fuzzing vs. the blind ``genmon`` baseline, at equal budget.
+
+Writes the ``BENCH_fuzz.json`` perf artifact (``--json``).  The headline
+comparison is against the **purely random genmon baseline** — the PR 2
+fuzzer's behaviour: fresh random generation every iteration, seeded random
+walks, no corpus, no feedback — at the same total judged-schedule budget.
+Metric: **distinct scheduler-state shapes discovered per judged schedule**;
+the subsystem's acceptance floor is a ≥2x gain, and ``bench_history.py
+--check`` gates regressions against the committed trend.
+
+For transparency the artifact also reports a *systematic* baseline (blind
+generation but with the campaign's own DPOR-exhaustive per-candidate
+evaluation).  That baseline buys diversity by compiling many more monitors
+per judged schedule — per SMT compile, the campaign still wins — so the
+honest reading is: the per-schedule gain comes from systematic exploration
+plus feedback together, and the random-vs-campaign row is the like-for-like
+replacement comparison.
+"""
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from repro.explore.parallel import map_jobs
+from repro.fuzz.campaign import FuzzConfig, _entry_job, _evaluate_candidate, run_campaign
+from repro.fuzz.corpus import CorpusStore, entry_from_generated
+from repro.fuzz.coverage import CoverageMap
+
+
+def _measure_baseline(seed: int, budget: int, config: FuzzConfig,
+                      workers: int) -> dict:
+    """Blind generate-and-explore at the given evaluation settings."""
+    coverage = CoverageMap()
+    schedules = 0
+    monitors = 0
+    failures = 0
+    index = 0
+    while schedules < budget:
+        batch = []
+        for _ in range(max(workers, 2)):
+            entry = entry_from_generated(seed, index)
+            entry.threads, entry.ops = config.threads, config.ops
+            batch.append(_entry_job(entry, config))
+            index += 1
+        for outcome in map_jobs(_evaluate_candidate, batch, workers):
+            monitors += 1
+            schedules += outcome.get("schedules_run", 0)
+            if "error" in outcome:
+                continue
+            coverage.add(outcome["features"])
+            failures += len(outcome.get("failures", ()))
+            if schedules >= budget:
+                break
+    counts = coverage.counts()
+    return {
+        "monitors": monitors,
+        "schedules": schedules,
+        "state_shapes": counts.get("state", 0),
+        "coverage_total": coverage.total(),
+        "shapes_per_schedule": round(counts.get("state", 0) / max(schedules, 1), 4),
+        "coverage_per_schedule": round(coverage.total() / max(schedules, 1), 4),
+        "findings": failures,
+    }
+
+
+def _measure_fuzz(seed: int, budget: int, config: FuzzConfig) -> dict:
+    result = run_campaign(config, CorpusStore(None))
+    shapes = result.coverage_counts.get("state", 0)
+    return {
+        "monitors": result.monitors,
+        "rounds": result.rounds,
+        "schedules": result.schedules_run,
+        "state_shapes": shapes,
+        "coverage_total": result.coverage_total,
+        "shapes_per_schedule": round(shapes / max(result.schedules_run, 1), 4),
+        "coverage_per_schedule": round(
+            result.coverage_total / max(result.schedules_run, 1), 4),
+        "corpus_size": result.corpus_size,
+        "findings": len(result.findings),
+        "operator_stats": result.to_dict()["operator_stats"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="write the BENCH_fuzz.json perf artifact")
+    parser.add_argument("--out", default="BENCH_fuzz.json",
+                        help="artifact path (default: BENCH_fuzz.json)")
+    parser.add_argument("--budget", type=int, default=400,
+                        help="judged-schedule budget per side (default: 400)")
+    parser.add_argument("--per-run-budget", type=int, default=60,
+                        help="schedule budget per candidate (default: 60)")
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--threads", type=int, default=3)
+    parser.add_argument("--ops", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker pool for both sides (default: 1)")
+    args = parser.parse_args(argv)
+    if not args.json:
+        parser.error("this benchmark only writes the JSON artifact; pass --json")
+
+    config = FuzzConfig(seed=args.seed, budget=args.budget,
+                        per_run_budget=args.per_run_budget,
+                        threads=args.threads, ops=args.ops,
+                        batch_size=max(args.workers, 4), bootstrap=4,
+                        max_findings=50, workers=args.workers)
+    start = time.perf_counter()
+    # The replacement comparison: PR 2's purely random genmon behaviour
+    # (fresh monitors, seeded random walks) at the campaign's budget.
+    random_config = dataclasses.replace(config, strategy="random")
+    random_baseline = _measure_baseline(args.seed, args.budget, random_config,
+                                        args.workers)
+    # The transparency row: blind generation, but with the campaign's own
+    # DPOR-exhaustive per-candidate evaluation (diversity per compile).
+    systematic_baseline = _measure_baseline(args.seed, args.budget, config,
+                                            args.workers)
+    fuzz = _measure_fuzz(args.seed, args.budget, config)
+    document = {
+        "budget": args.budget,
+        "per_run_budget": args.per_run_budget,
+        "seed": args.seed,
+        "threads": args.threads,
+        "ops": args.ops,
+        "random_baseline": random_baseline,
+        "systematic_baseline": systematic_baseline,
+        "fuzz": fuzz,
+        "state_shape_gain": round(
+            fuzz["shapes_per_schedule"]
+            / max(random_baseline["shapes_per_schedule"], 1e-9), 2),
+        "coverage_gain": round(
+            fuzz["coverage_per_schedule"]
+            / max(random_baseline["coverage_per_schedule"], 1e-9), 2),
+        "systematic_gain": round(
+            fuzz["shapes_per_schedule"]
+            / max(systematic_baseline["shapes_per_schedule"], 1e-9), 2),
+        "shapes_per_compile_fuzz": round(
+            fuzz["state_shapes"] / max(fuzz["monitors"], 1), 2),
+        "shapes_per_compile_systematic": round(
+            systematic_baseline["state_shapes"]
+            / max(systematic_baseline["monitors"], 1), 2),
+        "wall_seconds": round(time.perf_counter() - start, 1),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}: {document['state_shape_gain']}x state-shape "
+          f"coverage per judged schedule over the random genmon baseline "
+          f"({fuzz['shapes_per_schedule']} vs "
+          f"{random_baseline['shapes_per_schedule']}), "
+          f"{document['systematic_gain']}x vs the systematic blind baseline, "
+          f"{document['coverage_gain']}x all-axis coverage, "
+          f"{document['wall_seconds']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,10 @@ Two modes:
 Columns: judged-schedule totals for plain enumeration and the default
 (semantic) DPOR, the plain/semantic and syntactic/semantic reduction ratios,
 the cross-worker shared-store ratio, aggregate schedules/sec of the reduced
-campaigns, and the suite compile time.
+campaigns, the suite compile time, and — since the fuzzing subsystem — the
+coverage-guided campaign's state-shape gain over the random genmon baseline
+(``benchmarks/bench_fuzz.py``, gated at both the trend tolerance and the
+subsystem's hard 2x acceptance floor).
 """
 
 from __future__ import annotations
@@ -25,17 +28,23 @@ import json
 import sys
 from pathlib import Path
 
+#: The fuzzing subsystem's acceptance floor: coverage-guided campaigns must
+#: discover at least this multiple of distinct scheduler-state shapes per
+#: judged schedule relative to blind random generation.
+FUZZ_GAIN_FLOOR = 2.0
+
 HEADER = (
     "| label | plain | reduced | reduction | semantic | shared-store "
-    "| sched/s | compile (s) |"
+    "| sched/s | compile (s) | fuzz-gain |"
 )
 SEPARATOR = (
     "|-------|-------|---------|-----------|----------|--------------"
-    "|---------|-------------|"
+    "|---------|-------------|-----------|"
 )
 
 
-def _row_from_documents(label: str, explore: dict, compile_doc: dict | None) -> str:
+def _row_from_documents(label: str, explore: dict, compile_doc: dict | None,
+                        fuzz_doc: dict | None = None) -> str:
     reduction = explore["reduction"]
     shared = explore.get("shared_store", {})
     elapsed = sum(row["por"]["elapsed_seconds"] for row in reduction["rows"])
@@ -43,6 +52,7 @@ def _row_from_documents(label: str, explore: dict, compile_doc: dict | None) -> 
         reduction["total_por_schedules"] / elapsed if elapsed else 0.0)
     compile_seconds = (
         compile_doc.get("total_compile_seconds") if compile_doc else None)
+    fuzz_gain = fuzz_doc.get("state_shape_gain") if fuzz_doc else None
     return (
         f"| {label} "
         f"| {reduction['total_plain_schedules']} "
@@ -51,7 +61,8 @@ def _row_from_documents(label: str, explore: dict, compile_doc: dict | None) -> 
         f"| {reduction.get('aggregate_semantic_ratio', '-')}x "
         f"| {shared.get('aggregate_reduction_ratio', '-')}x "
         f"| {schedules_per_second:.0f} "
-        f"| {compile_seconds if compile_seconds is not None else '-'} |"
+        f"| {compile_seconds if compile_seconds is not None else '-'} "
+        f"| {f'{fuzz_gain}x' if fuzz_gain is not None else '-'} |"
     )
 
 
@@ -66,7 +77,7 @@ def _last_row(history_path: Path) -> dict | None:
         return None
     cells = [cell.strip() for cell in rows[-1].strip("|").split("|")]
     try:
-        return {
+        parsed = {
             "label": cells[0],
             "plain": int(cells[1]),
             "reduced": int(cells[2]),
@@ -74,6 +85,12 @@ def _last_row(history_path: Path) -> dict | None:
         }
     except (IndexError, ValueError):
         return None
+    # Rows committed before the fuzzing subsystem have no fuzz-gain column.
+    try:
+        parsed["fuzz_gain"] = float(cells[8].rstrip("x"))
+    except (IndexError, ValueError):
+        parsed["fuzz_gain"] = None
+    return parsed
 
 
 def main(argv=None) -> int:
@@ -82,6 +99,9 @@ def main(argv=None) -> int:
                         help="path to BENCH_explore.json (default: ./)")
     parser.add_argument("--compile-json", default="BENCH_compile.json",
                         help="path to BENCH_compile.json (optional input)")
+    parser.add_argument("--fuzz-json", default="BENCH_fuzz.json",
+                        help="path to BENCH_fuzz.json (optional input; adds "
+                             "the fuzz-gain column and its --check gate)")
     parser.add_argument("--history", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_history.md"),
         help="trend table path (default: repo root BENCH_history.md)")
@@ -97,15 +117,24 @@ def main(argv=None) -> int:
     if bool(args.append) == args.check:
         parser.error("pass exactly one of --append LABEL or --check")
 
-    explore = json.loads(Path(args.explore_json).read_text())
+    explore = None
+    explore_path = Path(args.explore_json)
+    if explore_path.exists():
+        explore = json.loads(explore_path.read_text())
     compile_doc = None
     compile_path = Path(args.compile_json)
     if compile_path.exists():
         compile_doc = json.loads(compile_path.read_text())
+    fuzz_doc = None
+    fuzz_path = Path(args.fuzz_json)
+    if fuzz_path.exists():
+        fuzz_doc = json.loads(fuzz_path.read_text())
 
     history_path = Path(args.history)
     if args.append:
-        row = _row_from_documents(args.append, explore, compile_doc)
+        if explore is None:
+            parser.error(f"--append needs {args.explore_json}")
+        row = _row_from_documents(args.append, explore, compile_doc, fuzz_doc)
         if history_path.exists():
             text = history_path.read_text().rstrip("\n")
         else:
@@ -121,14 +150,35 @@ def main(argv=None) -> int:
     if baseline is None:
         print(f"{history_path} has no rows to check against; passing")
         return 0
-    current = explore["reduction"]["aggregate_reduction_ratio"]
-    floor = baseline["reduction"] * (1.0 - args.tolerance)
-    print(f"reduction ratio: current {current}x, last committed "
-          f"{baseline['reduction']}x ({baseline['label']}), floor {floor:.2f}x")
-    if current < floor:
-        print("FAIL: partial-order reduction regressed beyond tolerance",
-              file=sys.stderr)
-        return 1
+    if explore is None and fuzz_doc is None:
+        parser.error(f"--check needs {args.explore_json} or {args.fuzz_json}")
+    if explore is not None:
+        current = explore["reduction"]["aggregate_reduction_ratio"]
+        floor = baseline["reduction"] * (1.0 - args.tolerance)
+        print(f"reduction ratio: current {current}x, last committed "
+              f"{baseline['reduction']}x ({baseline['label']}), "
+              f"floor {floor:.2f}x")
+        if current < floor:
+            print("FAIL: partial-order reduction regressed beyond tolerance",
+                  file=sys.stderr)
+            return 1
+    else:
+        # Fuzz-only invocation (the nightly fuzz job has no explore
+        # artifact); the reduction gate runs in the explore-bench job.
+        print(f"{args.explore_json} absent: skipping the reduction gate")
+    if fuzz_doc is not None:
+        gain = fuzz_doc.get("state_shape_gain", 0.0)
+        fuzz_floor = FUZZ_GAIN_FLOOR
+        if baseline.get("fuzz_gain"):
+            fuzz_floor = max(FUZZ_GAIN_FLOOR,
+                             baseline["fuzz_gain"] * (1.0 - args.tolerance))
+        print(f"fuzz coverage gain: current {gain}x, floor {fuzz_floor:.2f}x"
+              + (f" (last committed {baseline['fuzz_gain']}x)"
+                 if baseline.get("fuzz_gain") else " (hard acceptance floor)"))
+        if gain < fuzz_floor:
+            print("FAIL: coverage-guided fuzzing gain regressed below the "
+                  "floor", file=sys.stderr)
+            return 1
     print("ok")
     return 0
 

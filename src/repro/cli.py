@@ -21,6 +21,10 @@ Usage examples::
     expresso explore --fuzz 25 --seed 1 --schedules 100
     expresso explore --replay failure.json
 
+    # Coverage-guided fuzzing with a persistent corpus.
+    expresso fuzz --budget 2000 --seed 1 --corpus-dir .fuzz-corpus --workers 4
+    expresso fuzz --budget 500 --json
+
     # Drop every placed notification; each must yield a counterexample.
     expresso mutate --threads 3 --ops 2 --workers 4
 
@@ -150,8 +154,45 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="re-run schedules from a JSON file written "
                                   "by --json (or a minimal "
                                   "{benchmark, schedule} object)")
+    explore_cmd.add_argument("--witness", action="store_true",
+                             help="attach a Definition 3.4 implicit-vs-"
+                                  "explicit trace witness to every finding")
     explore_cmd.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON instead of text")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="coverage-guided fuzzing campaign over generated monitors")
+    fuzz_cmd.add_argument("--budget", type=_positive_int, default=2000,
+                          help="total judged-schedule budget (default: 2000)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="campaign seed (default: 0)")
+    fuzz_cmd.add_argument("--corpus-dir", default=None,
+                          help="persistent corpus directory (default: "
+                               "in-memory, nothing persisted)")
+    fuzz_cmd.add_argument("--workers", type=_positive_int, default=1,
+                          help="shard candidate evaluation over a process "
+                               "pool (default: 1 = in-process)")
+    fuzz_cmd.add_argument("--threads", type=_positive_int, default=3,
+                          help="bootstrap workload threads (default: 3)")
+    fuzz_cmd.add_argument("--ops", type=_positive_int, default=2,
+                          help="bootstrap operations per thread (default: 2)")
+    fuzz_cmd.add_argument("--per-run-budget", type=_positive_int, default=120,
+                          help="schedule budget per candidate (default: 120)")
+    fuzz_cmd.add_argument("--batch-size", type=_positive_int, default=8,
+                          help="candidates per mutation round (default: 8)")
+    fuzz_cmd.add_argument("--bootstrap", type=_positive_int, default=8,
+                          help="generated corpus roots (default: 8)")
+    fuzz_cmd.add_argument("--max-findings", type=_positive_int, default=10,
+                          help="stop after this many deduplicated findings "
+                               "(default: 10)")
+    fuzz_cmd.add_argument("--strategy", default="dfs",
+                          choices=("dfs", "random", "pct"),
+                          help="per-candidate exploration strategy "
+                               "(default: dfs)")
+    fuzz_cmd.add_argument("--max-steps", type=_positive_int, default=20_000,
+                          help="per-schedule step bound (default: 20000)")
+    fuzz_cmd.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of text")
 
     mutate_cmd = sub.add_parser(
         "mutate", help="drop every placed notification; each must be caught")
@@ -356,7 +397,8 @@ def _cmd_explore(args) -> int:
                                threads=args.threads, ops=args.ops,
                                strategy=args.strategy, budget=args.schedules,
                                max_steps=args.max_steps,
-                               stop_on_failure=not args.keep_going)
+                               stop_on_failure=not args.keep_going,
+                               witness=args.witness)
         if args.json:
             print(json.dumps(report.to_dict(), indent=2))
         else:
@@ -383,13 +425,14 @@ def _cmd_explore(args) -> int:
                 strategy=args.strategy, budget=args.schedules, seed=args.seed,
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
                 por=args.por, semantic=args.semantic, symmetry=args.symmetry,
-                workers=args.workers))
+                witness=args.witness, workers=args.workers))
         else:
             results.append(explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
                 strategy=args.strategy, budget=args.schedules, seed=args.seed,
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
-                por=args.por, semantic=args.semantic, symmetry=args.symmetry))
+                por=args.por, semantic=args.semantic, symmetry=args.symmetry,
+                witness=args.witness))
     ok = all(result.ok for result in results)
     if args.json:
         print(json.dumps({"results": [result.to_dict() for result in results],
@@ -407,6 +450,36 @@ def _cmd_explore(args) -> int:
                 print(f"replay: schedule={list(failure.minimized)}")
             print(failure.trace)
     return 0 if ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import CorpusStore, FuzzConfig, run_campaign
+    from repro.harness.report import render_fuzz_table
+
+    config = FuzzConfig(
+        seed=args.seed, budget=args.budget,
+        per_run_budget=args.per_run_budget, threads=args.threads,
+        ops=args.ops, batch_size=args.batch_size, bootstrap=args.bootstrap,
+        max_findings=args.max_findings, workers=args.workers,
+        strategy=args.strategy, max_steps=args.max_steps)
+    result = run_campaign(config, CorpusStore(args.corpus_dir))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    print(render_fuzz_table(result))
+    print(f"(wall clock: {result.elapsed_seconds:.1f}s)", file=sys.stderr)
+    for record in result.findings:
+        print(f"\n{record['monitor']}: {record['kind']} — {record['detail']}")
+        print(f"replay: schedule={list(record.get('minimized', []))}")
+        if record.get("witness"):
+            witness = record["witness"]
+            print(f"Definition 3.4 witness: implicit_feasible="
+                  f"{witness.get('implicit_feasible')} "
+                  f"explicit_feasible={witness.get('explicit_feasible')}")
+        print(record.get("trace", ""))
+    for error in result.compile_errors:
+        print(f"\nCOMPILE ERROR in {error['entry_id']}: {error['error']}")
+    return 0 if result.ok else 1
 
 
 def _cmd_mutate(args) -> int:
@@ -458,6 +531,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "bench": _cmd_bench,
         "explore": _cmd_explore,
+        "fuzz": _cmd_fuzz,
         "mutate": _cmd_mutate,
         "list": _cmd_list,
     }

@@ -21,7 +21,7 @@ addition to wall-clock time.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.codegen.pyexpr import python_identifier, to_python
 from repro.codegen.pystmt import stmt_to_python
@@ -123,9 +123,34 @@ def _semantic_literal(semantic: Dict) -> List[str]:
     return lines
 
 
+def placement_signature(placement) -> Tuple[Tuple, ...]:
+    """The decision tuple of a :class:`~repro.placement.algorithm.PlacementResult`.
+
+    One ``(ccr label, needs notification, conditional, broadcast,
+    used §4.3)`` row per placement decision, in decision order — the shape
+    the fuzzing campaign's placement coverage axis fingerprints, attached to
+    coop classes so workers see the decisions without re-running placement.
+    """
+    return tuple(
+        (decision.ccr_label, decision.needs_notification,
+         decision.conditional, decision.broadcast,
+         decision.used_commutativity)
+        for decision in placement.decisions)
+
+
+def _placement_literal(signature: Tuple[Tuple, ...]) -> List[str]:
+    """Source lines for a ``_coop_placement`` class attribute."""
+    lines = ["    _coop_placement = ("]
+    for row in signature:
+        lines.append(f"        {row!r},")
+    lines.append("    )")
+    return lines
+
+
 def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str] = None,
                              coop: bool = False, footprints: Optional[Dict] = None,
-                             semantic: Optional[Dict] = None) -> str:
+                             semantic: Optional[Dict] = None,
+                             placement: Optional[Tuple[Tuple, ...]] = None) -> str:
     """Generate an explicit-signal monitor class from a placed monitor.
 
     With ``coop=True`` the emitted methods are *generator functions* targeting
@@ -157,7 +182,10 @@ def generate_python_explicit(explicit: ExplicitMonitor, class_name: Optional[str
         lines.extend(_footprints_literal(footprints))
     if coop and semantic is not None:
         lines.extend(_semantic_literal(semantic))
-    if coop and (footprints is not None or semantic is not None):
+    if coop and placement is not None:
+        lines.extend(_placement_literal(placement))
+    if coop and (footprints is not None or semantic is not None
+                 or placement is not None):
         lines.append("")
     lines.append("    def __init__(self):")
     if not coop:

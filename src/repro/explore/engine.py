@@ -332,7 +332,8 @@ class ValueIndependence:
 
 def coop_class_for_explicit(explicit: ExplicitMonitor,
                             class_name: str = "CoopMonitor",
-                            solver=None, semantic: bool = True) -> type:
+                            solver=None, semantic: bool = True,
+                            placement=None) -> type:
     """Materialize the scheduler-targeting class for a placed monitor.
 
     Both reduction artifacts — the syntactic per-method footprints and the
@@ -347,12 +348,16 @@ def coop_class_for_explicit(explicit: ExplicitMonitor,
     verdicts across every class built in the process.
     """
     from repro.analysis.commutativity import semantic_independence_for_explicit
+    from repro.codegen.python_gen import placement_signature
 
     footprints = footprints_for_explicit(explicit)
     matrix = (semantic_independence_for_explicit(explicit, solver=solver)
               if semantic else None)
+    signature = (placement_signature(placement)
+                 if placement is not None else None)
     source = generate_python_explicit(explicit, class_name=class_name, coop=True,
-                                      footprints=footprints, semantic=matrix)
+                                      footprints=footprints, semantic=matrix,
+                                      placement=signature)
     cls = materialize_class(source, class_name)
     cls._coop_source = source
     # AST-bearing artifacts cannot be embedded in source text; parallel
@@ -418,9 +423,14 @@ class Counterexample:
     trace: str                     # readable interleaving of the minimized run
     strategy: str
     seed: Optional[int]            # seed that found it (sampling strategies)
+    #: Definition 3.4 witness (implicit-vs-explicit trace pair) — attached
+    #: when the campaign ran with ``witness=True`` and a trace-level form of
+    #: the failure exists (see :func:`repro.semantics.equivalence
+    #: .counterexample_witness`).
+    witness: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "kind": self.kind,
             "detail": self.detail,
             "schedule": list(self.schedule),
@@ -429,6 +439,9 @@ class Counterexample:
             "seed": self.seed,
             "trace": self.trace,
         }
+        if self.witness is not None:
+            record["witness"] = self.witness
+        return record
 
 
 @dataclass
@@ -472,6 +485,10 @@ class ExplorationResult:
     #: Stable 128-bit hashes of the visited-state set (only populated when
     #: the engine is asked to export them, e.g. to union shard coverage).
     state_hashes: Optional[List[int]] = field(default=None, repr=False)
+    #: Stable hashes of *abstracted* state shapes (only populated when the
+    #: engine is given a shape function — the fuzzing campaign's
+    #: scheduler-state-shape coverage axis).
+    state_shapes: Optional[List[int]] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -551,20 +568,32 @@ def _minimize(monitor: Monitor, coop_class: type, programs,
 
 def _record_failure(outcome: ExplorationResult, monitor, coop_class, programs,
                     run: RunResult, verdict: OracleVerdict, strategy_name: str,
-                    seed: Optional[int], max_steps: int, minimize: bool) -> None:
+                    seed: Optional[int], max_steps: int, minimize: bool,
+                    witness: bool = False) -> None:
     schedule = run.choices
     if minimize:
         minimized, min_run, min_verdict = _minimize(
             monitor, coop_class, programs, schedule, verdict.kind, max_steps)
         trace = render_trace(min_run, programs, min_verdict)
         detail = min_verdict.detail or verdict.detail
+        witness_run, witness_verdict = min_run, min_verdict
     else:
         minimized = schedule
         trace = render_trace(run, programs, verdict)
         detail = verdict.detail
+        witness_run, witness_verdict = run, verdict
+    witness_record = None
+    if witness:
+        explicit = getattr(coop_class, "_coop_explicit", None)
+        if explicit is not None:
+            from repro.semantics.equivalence import counterexample_witness
+
+            witness_record = counterexample_witness(
+                monitor, explicit, programs, witness_run, witness_verdict)
     outcome.failures.append(Counterexample(
         kind=verdict.kind or "failure", detail=detail, schedule=schedule,
-        minimized=minimized, trace=trace, strategy=strategy_name, seed=seed))
+        minimized=minimized, trace=trace, strategy=strategy_name, seed=seed,
+        witness=witness_record))
 
 
 def _tally(outcome: ExplorationResult, run: RunResult,
@@ -579,21 +608,30 @@ def _tally(outcome: ExplorationResult, run: RunResult,
 def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
                       budget: int, seed: int, max_steps: int,
                       stop_on_failure: bool, minimize: bool,
-                      oracle: OracleCache) -> None:
+                      oracle: OracleCache, seen: Optional[set] = None,
+                      witness: bool = False) -> None:
     # PCT change points must land inside the run: roughly one grant decision
-    # per operation plus slack for waits/relays.
+    # per operation plus slack for waits/relays.  When a *seen* set is given
+    # (coverage export), walks additionally fingerprint every grant decision
+    # so sampling campaigns report the states they visited.
     expected_decisions = max(8, 2 * sum(len(program) for program in programs))
     for iteration in range(budget):
         walk_seed = seed + iteration
         strategy = make_strategy(outcome.strategy, walk_seed,
                                  expected_decisions=expected_decisions)
         instance = coop_class()
-        run = run_schedule(instance, programs, strategy, max_steps)
+        run = run_schedule(instance, programs, strategy, max_steps,
+                           fingerprints=seen is not None)
+        if seen is not None:
+            for decision in run.decisions:
+                if decision.fingerprint is not None:
+                    seen.add(decision.fingerprint)
         verdict = oracle.judge(run, instance)
         _tally(outcome, run, verdict)
         if verdict.is_failure:
             _record_failure(outcome, monitor, coop_class, programs, run, verdict,
-                            outcome.strategy, walk_seed, max_steps, minimize)
+                            outcome.strategy, walk_seed, max_steps, minimize,
+                            witness)
             if stop_on_failure:
                 return
 
@@ -601,7 +639,8 @@ def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
 def _explore_dfs_plain(monitor, coop_class, programs, outcome: ExplorationResult,
                        budget: int, max_steps: int, stop_on_failure: bool,
                        minimize: bool, oracle: OracleCache,
-                       seen: set, dfs_prefixes=None) -> None:
+                       seen: set, dfs_prefixes=None,
+                       witness: bool = False) -> None:
     stack: List[Tuple[int, ...]] = (
         [tuple(prefix) for prefix in reversed(dfs_prefixes)]
         if dfs_prefixes else [()])
@@ -638,7 +677,7 @@ def _explore_dfs_plain(monitor, coop_class, programs, outcome: ExplorationResult
                     stack.append(choices[:position] + (alternative,))
         if verdict.is_failure:
             _record_failure(outcome, monitor, coop_class, programs, run, verdict,
-                            "dfs", None, max_steps, minimize)
+                            "dfs", None, max_steps, minimize, witness)
             if stop_on_failure:
                 break
     outcome.exhausted = not stack
@@ -789,7 +828,8 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
                   budget: int, max_steps: int, stop_on_failure: bool,
                   minimize: bool, oracle: OracleCache,
                   seen: set, dfs_prefixes=None, semantic: bool = True,
-                  symmetry: bool = True, shared_store=None) -> None:
+                  symmetry: bool = True, shared_store=None,
+                  witness: bool = False) -> None:
     independence = IndependenceRelation(
         getattr(coop_class, "_coop_footprints", None),
         getattr(coop_class, "_coop_semantic", None) if semantic else None)
@@ -859,7 +899,7 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
                      refiner, values, programs)
         if verdict.is_failure:
             _record_failure(outcome, monitor, coop_class, programs, run, verdict,
-                            "dfs", None, max_steps, minimize)
+                            "dfs", None, max_steps, minimize, witness)
             if stop_on_failure:
                 stopped = True
     outcome.exhausted = not stack
@@ -884,7 +924,8 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
                   semantic: bool = True, symmetry: bool = True,
                   dfs_prefixes: Optional[Sequence[Sequence[int]]] = None,
                   export_state_hashes: bool = False,
-                  shared_store=None) -> ExplorationResult:
+                  shared_store=None, state_shape=None,
+                  witness: bool = False) -> ExplorationResult:
     """Explore one coop monitor class over fixed per-thread programs.
 
     ``por`` selects partial-order reduction for the ``dfs`` strategy
@@ -900,6 +941,13 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
     shards skip states other workers fully explored — states are published
     only when this exploration drains its whole search space without
     recording a failure.
+
+    ``state_shape`` (a callable over raw scheduler fingerprints) populates
+    ``result.state_shapes`` with stable hashes of the *abstracted* shapes of
+    every visited state — the fuzzing campaign's coverage axis; sampling
+    strategies then fingerprint their walks too.  ``witness=True`` attaches a
+    Definition 3.4 implicit-vs-explicit trace witness to each recorded
+    failure when one exists.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
@@ -911,26 +959,34 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
                                 ops=max((len(p) for p in programs), default=0))
     oracle = OracleCache(monitor, programs)
     seen: set = set()
+    collect_states = export_state_hashes or state_shape is not None
     start = time.perf_counter()
     if strategy == "dfs":
         if por:
             _explore_dpor(monitor, coop_class, programs, outcome, budget,
                           max_steps, stop_on_failure, minimize, oracle, seen,
                           dfs_prefixes, semantic=semantic, symmetry=symmetry,
-                          shared_store=shared_store)
+                          shared_store=shared_store, witness=witness)
         else:
             _explore_dfs_plain(monitor, coop_class, programs, outcome, budget,
                                max_steps, stop_on_failure, minimize, oracle,
-                               seen, dfs_prefixes)
+                               seen, dfs_prefixes, witness=witness)
         outcome.distinct_states = len(seen)
     else:
         _explore_sampling(monitor, coop_class, programs, outcome, budget, seed,
-                          max_steps, stop_on_failure, minimize, oracle)
+                          max_steps, stop_on_failure, minimize, oracle,
+                          seen=seen if collect_states else None,
+                          witness=witness)
+        if collect_states:
+            outcome.distinct_states = len(seen)
     outcome.elapsed_seconds = time.perf_counter() - start
     outcome.oracle_hits = oracle.hits
     outcome.oracle_misses = oracle.misses
     if export_state_hashes:
         outcome.state_hashes = sorted(_stable_hash(fp) for fp in seen)
+    if state_shape is not None:
+        outcome.state_shapes = sorted({_stable_hash(state_shape(fp))
+                                       for fp in seen})
     return outcome
 
 
@@ -964,7 +1020,8 @@ def explore_explicit(explicit: ExplicitMonitor, reference: Monitor, programs,
 
     wants_semantic = (option("strategy") == "dfs"
                       and option("por") and option("semantic"))
-    coop_class = coop_class_for_explicit(explicit, semantic=wants_semantic)
+    coop_class = coop_class_for_explicit(explicit, semantic=wants_semantic,
+                                         placement=kwargs.pop("placement", None))
     kwargs.setdefault("benchmark", reference.name)
     kwargs.setdefault("discipline", "explicit")
     return explore_class(reference, coop_class, programs, **kwargs)

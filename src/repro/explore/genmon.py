@@ -1,222 +1,22 @@
-"""Seeded random monitor generation: fuzzing the whole pipeline end to end.
+"""Backward-compat shim: the monitor generators moved to :mod:`repro.fuzz`.
 
-``random_monitor`` composes a DSL monitor from a few *progress-friendly*
-synchronization families (bounded counters, toggled flags, ticket locks with
-thread-local guards, gates, conditional-body counters) with randomized caps,
-field counts and body shapes, plus a balanced workload whose roles keep the
-monitor live.  ``fuzz_pipeline`` then pushes each generated source through
-the full stack — parser, invariant inference, signal placement,
-instrumentation, coop code generation — and hands the result to the
-exploration engine, so a single seed exercises every layer against the
-differential oracle.
-
-Families are chosen so that blocked states are either reachable-and-released
-(the interesting case for signal placement) or benign stalls the oracle
-already classifies; anything else a random schedule digs up is a real
-finding.
+The seeded generators (and the blind generate-and-explore baseline they
+feed) now live in :mod:`repro.fuzz.generate`, where the coverage-guided
+campaign (:mod:`repro.fuzz.campaign`) bootstraps its corpus from them.  This
+module re-exports the public names so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.fuzz.generate import (  # noqa: F401
+    FuzzReport,
+    GeneratedMonitor,
+    balanced_workload,
+    derive_seed,
+    expand_role,
+    fuzz_pipeline,
+    random_monitor,
+)
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
-
-from repro.benchmarks_lib.spec import ThreadOps, Workload
-from repro.explore.engine import ExplorationResult, explore_explicit
-
-#: One family role: (method calls for a producer-ish thread, for a consumer-ish one).
-_Role = Callable[[int, int], ThreadOps]
-
-
-@dataclass(frozen=True)
-class GeneratedMonitor:
-    """A randomly generated monitor plus its balanced workload."""
-
-    name: str
-    source: str
-    families: Tuple[str, ...]
-    roles: Tuple[_Role, ...] = field(compare=False, repr=False, default=())
-
-    def workload(self, threads: int, ops: int) -> Workload:
-        """A balanced workload: every role gets the same number of threads.
-
-        Balancing (plus idle leftovers) keeps complementary roles — producer
-        and consumer, raise and lower — in matching op counts, so schedules
-        can run to completion; when *threads* < number of roles the workload
-        degrades to benign stalls, which the oracle classifies as such.
-        """
-        per_role = threads // len(self.roles)
-        if per_role == 0:
-            return [self.roles[index](index, ops) for index in range(threads)]
-        workload: Workload = []
-        for index in range(threads):
-            role = index // per_role
-            if role < len(self.roles):
-                workload.append(self.roles[role](index, ops))
-            else:
-                workload.append([])
-        return workload
-
-
-# ---------------------------------------------------------------------------
-# Families
-# ---------------------------------------------------------------------------
-
-
-def _counter_family(rng: random.Random, tag: int):
-    cap = rng.randint(1, 4)
-    fname = f"c{tag}"
-    lines = [
-        f"    unsigned int {fname} = 0;",
-        f"    atomic void put{tag}() {{ waituntil ({fname} < {cap}) {{ {fname}++; }} }}",
-        f"    atomic void take{tag}() {{ waituntil ({fname} > 0) {{ {fname}--; }} }}",
-    ]
-    roles = (lambda tid, ops: [(f"put{tag}", ())] * ops,
-             lambda tid, ops: [(f"take{tag}", ())] * ops)
-    return f"counter(cap={cap})", lines, roles
-
-
-def _flag_family(rng: random.Random, tag: int):
-    fname = f"flag{tag}"
-    lines = [
-        f"    boolean {fname} = false;",
-        f"    atomic void raise{tag}() {{ waituntil (!{fname}) {{ {fname} = true; }} }}",
-        f"    atomic void lower{tag}() {{ waituntil ({fname}) {{ {fname} = false; }} }}",
-    ]
-    roles = (lambda tid, ops: [(f"raise{tag}", ())] * ops,
-             lambda tid, ops: [(f"lower{tag}", ())] * ops)
-    return "flag", lines, roles
-
-
-def _ticket_family(rng: random.Random, tag: int):
-    # Thread-local guard (serving == t) + a two-CCR method: exercises the §6
-    # waiter-snapshot tables and cross-CCR locals through the whole pipeline.
-    lines = [
-        f"    int next{tag} = 0;",
-        f"    int serving{tag} = 0;",
-        f"    atomic void ticket{tag}() {{",
-        f"        int t = next{tag};",
-        f"        next{tag}++;",
-        f"        waituntil (serving{tag} == t) {{ serving{tag}++; }}",
-        f"    }}",
-    ]
-    roles = (lambda tid, ops: [(f"ticket{tag}", ())] * ops,)
-    return "ticket", lines, roles
-
-
-def _gate_family(rng: random.Random, tag: int):
-    lines = [
-        f"    boolean open{tag} = false;",
-        f"    int entered{tag} = 0;",
-        f"    atomic void open{tag}_() {{ open{tag} = true; }}",
-        f"    atomic void enter{tag}() {{ waituntil (open{tag}) {{ entered{tag}++; }} }}",
-    ]
-    roles = (lambda tid, ops: [(f"open{tag}_", ())] + [(f"enter{tag}", ())] * ops,
-             lambda tid, ops: [(f"enter{tag}", ())] * ops)
-    return "gate", lines, roles
-
-
-def _branchy_family(rng: random.Random, tag: int):
-    # Conditional body over an auxiliary unguarded field: exercises If
-    # statements through wp/placement/codegen.
-    cap = rng.randint(2, 4)
-    pivot = rng.randint(1, cap - 1)
-    lines = [
-        f"    unsigned int b{tag} = 0;",
-        f"    int aux{tag} = 0;",
-        f"    atomic void push{tag}() {{",
-        f"        waituntil (b{tag} < {cap}) {{",
-        f"            b{tag}++;",
-        f"            if (b{tag} > {pivot}) {{ aux{tag} = aux{tag} + 1; }} else {{ aux{tag} = 0; }}",
-        f"        }}",
-        f"    }}",
-        f"    atomic void pop{tag}() {{ waituntil (b{tag} > 0) {{ b{tag}--; }} }}",
-    ]
-    roles = (lambda tid, ops: [(f"push{tag}", ())] * ops,
-             lambda tid, ops: [(f"pop{tag}", ())] * ops)
-    return f"branchy(cap={cap},pivot={pivot})", lines, roles
-
-
-_FAMILIES = (_counter_family, _flag_family, _ticket_family, _gate_family,
-             _branchy_family)
-
-
-# ---------------------------------------------------------------------------
-# Generation and fuzzing
-# ---------------------------------------------------------------------------
-
-
-def random_monitor(seed: int, index: int = 0) -> GeneratedMonitor:
-    """Generate monitor *index* of the corpus seeded by *seed*."""
-    rng = random.Random(f"{seed}:{index}")
-    count = rng.randint(1, 3)
-    picks = [rng.choice(_FAMILIES) for _ in range(count)]
-    names: List[str] = []
-    body_lines: List[str] = []
-    roles: List[_Role] = []
-    for tag, family in enumerate(picks):
-        name, lines, family_roles = family(rng, tag)
-        names.append(name)
-        body_lines.extend(lines)
-        roles.extend(family_roles)
-    # Negative seeds are legal CLI input; '-' is not a legal identifier char.
-    monitor_name = f"Fuzz{seed}x{index}".replace("-", "n")
-    source = "\n".join([f"monitor {monitor_name} {{", *body_lines, "}"])
-    return GeneratedMonitor(monitor_name, source, tuple(names), tuple(roles))
-
-
-@dataclass
-class FuzzReport:
-    """Outcome of a fuzzing campaign over a generated corpus."""
-
-    seed: int
-    monitors: int = 0
-    compile_errors: List[Tuple[str, str]] = field(default_factory=list)
-    results: List[ExplorationResult] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return not self.compile_errors and all(r.ok for r in self.results)
-
-    def to_dict(self) -> dict:
-        return {
-            "seed": self.seed,
-            "monitors": self.monitors,
-            "ok": self.ok,
-            "compile_errors": [{"monitor": name, "error": error}
-                               for name, error in self.compile_errors],
-            "results": [result.to_dict() for result in self.results],
-        }
-
-
-def fuzz_pipeline(count: int = 10, seed: int = 0, threads: int = 3, ops: int = 2,
-                  strategy: str = "random", budget: int = 100,
-                  max_steps: int = 20_000, pipeline=None,
-                  stop_on_failure: bool = True) -> FuzzReport:
-    """Compile and explore *count* random monitors; collect every finding."""
-    from repro.placement.pipeline import ExpressoPipeline
-
-    pipeline = pipeline if pipeline is not None else ExpressoPipeline()
-    report = FuzzReport(seed=seed)
-    for index in range(count):
-        generated = random_monitor(seed, index)
-        report.monitors += 1
-        try:
-            compiled = pipeline.compile(generated.source)
-        except Exception as exc:
-            report.compile_errors.append(
-                (generated.name, f"{type(exc).__name__}: {exc}"))
-            if stop_on_failure:
-                break
-            continue
-        result = explore_explicit(
-            compiled.explicit, compiled.monitor,
-            generated.workload(threads, ops),
-            strategy=strategy, budget=budget, seed=seed + index,
-            max_steps=max_steps, stop_on_failure=stop_on_failure,
-            benchmark=generated.name, discipline="expresso")
-        report.results.append(result)
-        if not result.ok and stop_on_failure:
-            break
-    return report
+__all__ = [
+    "FuzzReport", "GeneratedMonitor", "balanced_workload", "derive_seed",
+    "expand_role", "fuzz_pipeline", "random_monitor",
+]

@@ -63,6 +63,23 @@ def default_workers() -> int:
     return os.cpu_count() or 2
 
 
+def map_jobs(function, jobs: Sequence[dict], workers: Optional[int] = None) -> List:
+    """Order-preserving map over the campaign worker pool.
+
+    The building block campaign drivers (the mutation sweep, the fuzzing
+    campaign's batches) shard per-candidate jobs with: results come back in
+    job order whatever the pool's scheduling did, so merging is
+    deterministic and independent of the worker count; one worker (or one
+    job) short-circuits to an in-process loop.
+    """
+    jobs = list(jobs)
+    workers = workers or default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        return [function(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(function, jobs))
+
+
 # ---------------------------------------------------------------------------
 # The cross-worker visited-state store
 # ---------------------------------------------------------------------------
@@ -164,7 +181,8 @@ def _run_shard(job: dict) -> ExplorationResult:
         symmetry=job.get("symmetry", True),
         dfs_prefixes=job.get("dfs_prefixes"),
         export_state_hashes=job["strategy"] == "dfs",
-        shared_store=shared_store)
+        shared_store=shared_store,
+        witness=job.get("witness", False))
 
 
 def _run_mutant(job: dict) -> dict:
@@ -290,6 +308,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                            benchmark: str = "?", discipline: str = "?",
                            por: bool = True, semantic: bool = True,
                            symmetry: bool = True, share_states: bool = True,
+                           witness: bool = False,
                            workers: Optional[int] = None) -> ExplorationResult:
     """`explore_class`, sharded over a process pool.
 
@@ -306,7 +325,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         strategy=strategy, budget=budget, seed=seed, max_steps=max_steps,
         stop_on_failure=stop_on_failure, minimize=minimize,
         benchmark=benchmark, discipline=discipline, por=por,
-        semantic=semantic, symmetry=symmetry)
+        semantic=semantic, symmetry=symmetry, witness=witness)
     if workers <= 1 or source is None:
         return explore_class(monitor, coop_class, programs, **sequential_kwargs)
     # Explicit coop sources embed footprints/matrix as class-attribute
@@ -332,6 +351,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         "por": por,
         "semantic_por": semantic,
         "symmetry": symmetry,
+        "witness": witness,
     }
     manager = None
     jobs: List[dict] = []
@@ -485,10 +505,6 @@ def mutation_campaign(specs, threads: int = 3, ops: int = 2,
     report = MutationReport(threads=threads, ops=ops, budget=budget,
                             workers=workers)
     start = time.perf_counter()
-    if workers <= 1:
-        report.mutants = [_run_mutant(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            report.mutants = list(pool.map(_run_mutant, jobs))
+    report.mutants = map_jobs(_run_mutant, jobs, workers)
     report.elapsed_seconds = time.perf_counter() - start
     return report

@@ -1,0 +1,415 @@
+"""The coverage-guided fuzzing campaign driver (``expresso fuzz``).
+
+The loop is the classic greybox cycle instantiated over monitor programs:
+
+1. **bootstrap** — evaluate generated roots until the corpus has seeds;
+2. **select** — a power schedule picks parents, favouring entries whose run
+   added new coverage (``gain``) and spreading picks across the corpus;
+3. **mutate** — a rendezvous-hashed operator (deterministic per
+   ``(campaign seed, round, slot)``) transforms the parent's monitor AST,
+   falling back through the operator order and finally to fresh generation;
+4. **evaluate** — candidates are sharded over the
+   :func:`repro.explore.parallel.map_jobs` worker pool: each job compiles the
+   monitor, explores it, and extracts coverage features + findings (with
+   Definition 3.4 witnesses);
+5. **merge** — results are folded in batch-slot order: the coverage map
+   unions deterministically, fingerprint-novel candidates join the corpus,
+   findings are deduplicated by (kind, minimized schedule, coverage
+   fingerprint).
+
+Everything observable — the corpus, the coverage map, the finding set — is a
+pure function of the campaign seed, the starting corpus and the budget; the
+worker count only changes wall-clock time.  The budget counts **judged
+schedules**, so equal-budget comparisons against the blind
+:func:`repro.fuzz.generate.fuzz_pipeline` baseline are fair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.parallel import map_jobs
+from repro.fuzz.corpus import CorpusEntry, CorpusStore, entry_from_generated
+from repro.fuzz.coverage import CoverageMap, coverage_fingerprint, run_features
+from repro.fuzz.generate import balanced_workload, derive_seed, roles_from_json, roles_to_json
+from repro.fuzz.mutate import CROSSOVER_OPERATORS, OPERATORS, apply_operator
+
+
+@dataclass
+class FuzzConfig:
+    """Campaign knobs (all deterministic inputs)."""
+
+    seed: int = 0
+    budget: int = 2000            # total judged schedules this invocation
+    per_run_budget: int = 120     # engine budget per candidate
+    threads: int = 3              # bootstrap workload bounds (mutable by
+    ops: int = 2                  # the resize-bounds operator)
+    batch_size: int = 8
+    bootstrap: int = 8
+    max_findings: int = 10
+    max_rounds: int = 1000
+    workers: int = 1
+    strategy: str = "dfs"
+    max_steps: int = 20_000
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Everything one campaign invocation produced (timing kept out of
+    :meth:`to_dict` so artifacts stay byte-stable)."""
+
+    seed: int
+    budget: int
+    workers: int
+    strategy: str
+    rounds: int = 0
+    monitors: int = 0
+    schedules_run: int = 0
+    corpus_size: int = 0
+    corpus_added: int = 0
+    new_features: int = 0
+    coverage_counts: Dict[str, int] = field(default_factory=dict)
+    coverage_total: int = 0
+    findings: List[dict] = field(default_factory=list)
+    duplicate_findings: int = 0
+    compile_errors: List[dict] = field(default_factory=list)
+    operator_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def coverage_per_schedule(self) -> float:
+        if self.schedules_run <= 0:
+            return 0.0
+        return self.coverage_total / self.schedules_run
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "workers": self.workers,
+            "strategy": self.strategy,
+            "rounds": self.rounds,
+            "monitors": self.monitors,
+            "schedules_run": self.schedules_run,
+            "corpus_size": self.corpus_size,
+            "corpus_added": self.corpus_added,
+            "new_features": self.new_features,
+            "coverage_counts": dict(sorted(self.coverage_counts.items())),
+            "coverage_total": self.coverage_total,
+            "findings": list(self.findings),
+            "duplicate_findings": self.duplicate_findings,
+            "compile_errors": list(self.compile_errors),
+            "operator_stats": {name: dict(sorted(stats.items()))
+                               for name, stats in
+                               sorted(self.operator_stats.items())},
+            "ok": self.ok,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+#: One pipeline (with a shared formula cache) per worker process: SMT
+#: compilation dominates campaign wall time and mutants share most of their
+#: bodies with their parents, so memoized validity/commute verdicts pay for
+#: themselves immediately.  Caches change speed, never verdicts, so
+#: determinism is unaffected.
+_WORKER_PIPELINE = None
+
+
+def _worker_pipeline():
+    global _WORKER_PIPELINE
+    if _WORKER_PIPELINE is None:
+        from repro.placement.pipeline import ExpressoPipeline
+        from repro.smt.cache import FormulaCache
+
+        _WORKER_PIPELINE = ExpressoPipeline(cache=FormulaCache())
+    return _WORKER_PIPELINE
+
+
+def _evaluate_candidate(job: dict) -> dict:
+    """Compile + explore one candidate and extract its coverage (pool job)."""
+    from repro.explore.engine import coop_class_for_explicit, explore_class
+    from repro.fuzz.coverage import state_shape
+
+    base = {"entry_id": job["entry_id"], "schedules_run": 0}
+    try:
+        compiled = _worker_pipeline().compile(job["source"])
+    except Exception as exc:
+        return {**base, "error": f"compile: {type(exc).__name__}: {exc}"}
+    try:
+        semantic = job["strategy"] == "dfs"
+        coop_class = coop_class_for_explicit(
+            compiled.explicit, semantic=semantic, placement=compiled.placement)
+        # The codegen hook embedded the placement signature in the class;
+        # read it back so coverage extraction and any worker that rebuilds
+        # the class from source consume the same artifact.
+        signature = coop_class._coop_placement
+        programs = balanced_workload(roles_from_json(job["roles"]),
+                                     job["threads"], job["ops"])
+        result = explore_class(
+            compiled.monitor, coop_class, programs,
+            strategy=job["strategy"], budget=job["budget"],
+            seed=job["explore_seed"], max_steps=job["max_steps"],
+            stop_on_failure=True, minimize=True,
+            benchmark=job["name"], discipline="fuzz",
+            por=True, semantic=semantic, symmetry=True,
+            state_shape=state_shape, witness=True)
+    except Exception as exc:
+        return {**base, "error": f"explore: {type(exc).__name__}: {exc}"}
+    features = run_features(
+        result, explicit=compiled.explicit,
+        matrix=getattr(coop_class, "_coop_semantic", None),
+        placement_signature=signature)
+    return {
+        "entry_id": job["entry_id"],
+        "features": {axis: sorted(values) for axis, values in features.items()},
+        "fingerprint": coverage_fingerprint(features),
+        "schedules_run": result.schedules_run,
+        "summary": {
+            "schedules_run": result.schedules_run,
+            "completed": result.completed,
+            "stalls": result.stalls,
+            "distinct_states": result.distinct_states,
+            "exhausted": result.exhausted,
+        },
+        "ok": result.ok,
+        "failures": [failure.to_dict() for failure in result.failures],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+
+def _select_parent(entries: Sequence[CorpusEntry],
+                   exclude: Optional[str] = None) -> Optional[CorpusEntry]:
+    """Power schedule: favour high-gain seeds, spread picks across the corpus.
+
+    Score is ``(gain + 1) / (picks + 1)`` — a seed whose last run added new
+    coverage outranks exhausted ones, and every pick decays the seed so the
+    schedule cycles through the corpus instead of fixating.  Ties break by
+    corpus order, which is deterministic (load order, then admission order).
+    """
+    best = None
+    best_score = None
+    for index, entry in enumerate(entries):
+        if entry.entry_id == exclude:
+            continue
+        score = ((entry.gain + 1) / (entry.picks + 1), -index)
+        if best_score is None or score > best_score:
+            best, best_score = entry, score
+    return best
+
+
+def _select_operator(slot_seed: int, corpus_size: int) -> List[str]:
+    """Operator preference order for one slot (rendezvous-hashed).
+
+    Returns the full registry sorted by each operator's derived digest, so
+    the driver can fall through deterministically when an operator does not
+    apply; crossover is excluded while the corpus cannot supply a mate.
+    """
+    names = [name for name in OPERATORS
+             if corpus_size >= 2 or name not in CROSSOVER_OPERATORS]
+    return sorted(names, key=lambda name: derive_seed(slot_seed, name),
+                  reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def _entry_job(entry: CorpusEntry, config: FuzzConfig) -> dict:
+    return {
+        "entry_id": entry.entry_id,
+        "name": entry.name,
+        "source": entry.source,
+        "roles": roles_to_json(roles_from_json(entry.roles)),
+        "threads": entry.threads,
+        "ops": entry.ops,
+        "strategy": config.strategy,
+        "budget": config.per_run_budget,
+        "max_steps": config.max_steps,
+        "explore_seed": derive_seed(config.seed, entry.entry_id) % (2 ** 31),
+    }
+
+
+def run_campaign(config: FuzzConfig,
+                 store: Optional[CorpusStore] = None) -> FuzzCampaignResult:
+    """Run one deterministic coverage-guided campaign invocation."""
+    store = store or CorpusStore(None)
+    start = time.perf_counter()
+    entries = store.load_entries()
+    known_ids = {entry.entry_id for entry in entries}
+    coverage = CoverageMap.from_dict(store.load_coverage() or {})
+    fingerprints = {entry.fingerprint for entry in entries
+                    if entry.fingerprint}
+    findings: Dict[Tuple, dict] = {}
+    for record in store.load_findings():
+        key = (record.get("kind"), tuple(record.get("minimized", ())),
+               record.get("coverage_fingerprint"))
+        findings[key] = record
+    meta = store.load_meta()
+    round_index = int(meta.get("rounds_completed", 0))
+
+    result = FuzzCampaignResult(seed=config.seed, budget=config.budget,
+                                workers=config.workers,
+                                strategy=config.strategy)
+
+    def operator_stat(name: str) -> Dict[str, int]:
+        return result.operator_stats.setdefault(
+            name, {"applied": 0, "rejected": 0, "new_coverage": 0, "findings": 0})
+
+    def merge_outcome(outcome: dict, entry: CorpusEntry, op_name: Optional[str]) -> None:
+        result.monitors += 1
+        result.schedules_run += outcome.get("schedules_run", 0)
+        if "error" in outcome:
+            result.compile_errors.append({"entry_id": outcome["entry_id"],
+                                          "error": outcome["error"]})
+            return
+        entry.fingerprint = outcome["fingerprint"]
+        entry.features = outcome["features"]
+        entry.schedules_run = outcome["summary"]["schedules_run"]
+        gain = coverage.add(outcome["features"])
+        entry.gain = gain
+        result.new_features += gain
+        if op_name is not None and gain:
+            operator_stat(op_name)["new_coverage"] += 1
+        novel = entry.fingerprint not in fingerprints
+        if gain and novel:
+            fingerprints.add(entry.fingerprint)
+            entries.append(entry)
+            known_ids.add(entry.entry_id)
+            store.save_entry(entry)
+            result.corpus_added += 1
+        for failure in outcome.get("failures", ()):
+            key = (failure.get("kind"), tuple(failure.get("minimized", ())),
+                   outcome["fingerprint"])
+            if key in findings:
+                result.duplicate_findings += 1
+                continue
+            if op_name is not None:
+                operator_stat(op_name)["findings"] += 1
+            findings[key] = {
+                "entry_id": entry.entry_id,
+                "monitor": entry.name,
+                "source": entry.source,
+                "roles": roles_to_json(roles_from_json(entry.roles)),
+                "threads": entry.threads,
+                "ops": entry.ops,
+                "coverage_fingerprint": outcome["fingerprint"],
+                **failure,
+            }
+
+    def budget_left() -> bool:
+        return (result.schedules_run < config.budget
+                and len(findings) < config.max_findings)
+
+    # -- bootstrap ------------------------------------------------------------
+    boot_jobs: List[Tuple[CorpusEntry, dict]] = []
+    for index in range(config.bootstrap):
+        entry = entry_from_generated(config.seed, index)
+        entry.threads, entry.ops = config.threads, config.ops
+        if entry.entry_id in known_ids:
+            continue
+        boot_jobs.append((entry, _entry_job(entry, config)))
+    if boot_jobs and budget_left():
+        outcomes = map_jobs(_evaluate_candidate,
+                            [job for _entry, job in boot_jobs], config.workers)
+        for (entry, _job), outcome in zip(boot_jobs, outcomes):
+            # Bootstrap roots always join the corpus (dedup still applies to
+            # their fingerprints for later mutants); they are the search's
+            # anchors even when an earlier root covered the same features.
+            merge_outcome(outcome, entry, None)
+            if entry.entry_id not in known_ids and "error" not in outcome:
+                entries.append(entry)
+                known_ids.add(entry.entry_id)
+                fingerprints.add(entry.fingerprint)
+                store.save_entry(entry)
+
+    # -- mutation rounds ------------------------------------------------------
+    rounds_this_run = 0
+    while budget_left() and entries and rounds_this_run < config.max_rounds:
+        batch: List[Tuple[CorpusEntry, Optional[str], dict]] = []
+        for slot in range(config.batch_size):
+            slot_seed = derive_seed(config.seed, "round", round_index, slot)
+            parent = _select_parent(entries)
+            if parent is None:
+                break
+            parent.picks += 1
+            candidate = None
+            used_op = None
+            mate_entry = None
+            for op_name in _select_operator(slot_seed, len(entries)):
+                op_seed = derive_seed(slot_seed, op_name)
+                mate_entry = None
+                mate = None
+                if op_name in CROSSOVER_OPERATORS:
+                    mate_entry = _select_parent(entries, exclude=parent.entry_id)
+                    if mate_entry is None:
+                        continue
+                    mate = mate_entry.candidate()
+                candidate = apply_operator(op_name, parent.candidate(),
+                                           op_seed, mate)
+                if candidate is not None:
+                    used_op = op_name
+                    operator_stat(op_name)["applied"] += 1
+                    break
+                operator_stat(op_name)["rejected"] += 1
+            if candidate is None:
+                # Every operator refused: inject a fresh generated root.
+                fresh_seed = derive_seed(config.seed, "fresh", round_index, slot)
+                entry = entry_from_generated(fresh_seed, 0)
+                entry.entry_id = f"gen-fresh-{config.seed}-{round_index}-{slot}"
+                entry.threads, entry.ops = config.threads, config.ops
+                operator_stat("fresh-generation")["applied"] += 1
+            else:
+                entry = CorpusEntry(
+                    entry_id=f"mut-{config.seed}-{round_index}-{slot}",
+                    name=candidate.name, source=candidate.source,
+                    roles=candidate.roles,
+                    threads=candidate.threads, ops=candidate.ops,
+                    parent=parent.entry_id, op=used_op,
+                    op_seed=derive_seed(slot_seed, used_op),
+                    mate=mate_entry.entry_id if mate_entry else None)
+            if entry.entry_id in known_ids:
+                continue  # replayed round against a resumed corpus
+            batch.append((entry, used_op, _entry_job(entry, config)))
+        if not batch:
+            round_index += 1
+            rounds_this_run += 1
+            continue
+        outcomes = map_jobs(_evaluate_candidate,
+                            [job for _e, _op, job in batch], config.workers)
+        for (entry, op_name, _job), outcome in zip(batch, outcomes):
+            merge_outcome(outcome, entry, op_name or "fresh-generation")
+        round_index += 1
+        rounds_this_run += 1
+
+    # -- finalize -------------------------------------------------------------
+    result.rounds = rounds_this_run
+    result.corpus_size = len(entries)
+    result.coverage_counts = coverage.counts()
+    result.coverage_total = coverage.total()
+    ordered_findings = sorted(
+        findings.values(),
+        key=lambda record: (record.get("entry_id", ""), record.get("kind", ""),
+                            tuple(record.get("minimized", ()))))
+    result.findings = ordered_findings
+    result.elapsed_seconds = time.perf_counter() - start
+    store.save_state(coverage.to_dict(), ordered_findings, {
+        "seed": config.seed,
+        "rounds_completed": round_index,
+        "schedules_last_run": result.schedules_run,
+    })
+    return result

@@ -172,6 +172,46 @@ def render_explore_table(results: Sequence) -> str:
     return "\n".join(lines)
 
 
+def render_fuzz_table(result) -> str:
+    """Render one fuzzing-campaign result as a text report.
+
+    Accepts :class:`repro.fuzz.campaign.FuzzCampaignResult` rows (typed
+    loosely to keep the harness importable without the fuzz subsystem).
+    """
+    header = "Coverage-guided fuzzing campaign"
+    lines = [header, "-" * len(header)]
+    lines.append(f"seed {result.seed}  strategy {result.strategy}  "
+                 f"workers {result.workers}")
+    lines.append(f"rounds {result.rounds}  monitors {result.monitors}  "
+                 f"judged schedules {result.schedules_run} "
+                 f"(budget {result.budget})")
+    lines.append(f"corpus {result.corpus_size} entries "
+                 f"(+{result.corpus_added} this run)")
+    counts = result.coverage_counts
+    lines.append("coverage".ljust(12)
+                 + "  ".join(f"{axis}={counts.get(axis, 0)}"
+                             for axis in sorted(counts))
+                 + f"  total={result.coverage_total} "
+                 f"(+{result.new_features} new)")
+    lines.append(f"coverage/schedule {result.coverage_per_schedule:.3f}")
+    if result.operator_stats:
+        lines.append("")
+        lines.append("Operator".ljust(22) + "Applied".ljust(9)
+                     + "Rejected".ljust(10) + "NewCov".ljust(8) + "Findings")
+        for name in sorted(result.operator_stats):
+            stats = result.operator_stats[name]
+            lines.append(name.ljust(22)
+                         + str(stats.get("applied", 0)).ljust(9)
+                         + str(stats.get("rejected", 0)).ljust(10)
+                         + str(stats.get("new_coverage", 0)).ljust(8)
+                         + str(stats.get("findings", 0)))
+    lines.append("-" * len(header))
+    lines.append(f"findings: {len(result.findings)} "
+                 f"({result.duplicate_findings} duplicates suppressed), "
+                 f"compile errors: {len(result.compile_errors)}")
+    return "\n".join(lines)
+
+
 def speedup_summary(all_series: Iterable[FigureSeries]) -> Dict[str, float]:
     """The headline aggregates: mean speedups of Expresso over each baseline."""
     per_baseline: Dict[str, List[float]] = {}

@@ -150,3 +150,198 @@ def check_bounded_equivalence(monitor: Monitor, explicit: ExplicitMonitor,
         if explicit_entry[0].state.shared != implicit_config.state.shared:
             report.state_mismatches.append(trace)
     return report
+
+
+# ---------------------------------------------------------------------------
+# Definition 3.4 witnesses for exploration counterexamples
+# ---------------------------------------------------------------------------
+
+
+def _trace_from_run(monitor: Monitor, programs, run) -> List[Event]:
+    """Rebuild the §3.2 event trace of a scheduled coop run.
+
+    Commits map to *entered* events.  A ``wait`` scheduler event maps to the
+    waiting thread's pending CCR as a *blocked* event — positions are tracked
+    exactly as the reference replay does, so multi-CCR methods resolve to the
+    CCR the thread actually blocked in.
+    """
+    positions: Dict[int, Tuple[int, int]] = {tid: (0, 0)
+                                             for tid in range(len(programs))}
+
+    def pending_label(tid: int) -> Optional[str]:
+        op_index, ccr_index = positions[tid]
+        program = programs[tid]
+        if op_index >= len(program):
+            return None
+        method = monitor.method(program[op_index][0])
+        return method.ccrs[ccr_index].label
+
+    trace: List[Event] = []
+    for event in run.events:
+        if event.kind == "commit":
+            trace.append(Event(event.thread, event.label, True))
+            op_index, ccr_index = positions[event.thread]
+            method = monitor.method(programs[event.thread][op_index][0])
+            if ccr_index + 1 < len(method.ccrs):
+                positions[event.thread] = (op_index, ccr_index + 1)
+            else:
+                positions[event.thread] = (op_index + 1, 0)
+        elif event.kind == "wait":
+            label = pending_label(event.thread)
+            if label is not None:
+                trace.append(Event(event.thread, label, False))
+    return trace
+
+
+def _witness_plans(monitor: Monitor, programs) -> Optional[List[ThreadPlan]]:
+    """ThreadPlans mirroring a coop workload (parameterless methods only)."""
+    plans: List[ThreadPlan] = []
+    for tid, program in enumerate(programs):
+        methods = []
+        for method_name, args in program:
+            if args:
+                return None
+            methods.append(method_name)
+        plans.append(ThreadPlan(tid, tuple(methods)))
+    return plans
+
+
+def _serialize_trace(trace: Sequence[Event]) -> list:
+    return [[event.thread, event.ccr_label, event.entered] for event in trace]
+
+
+def counterexample_witness(monitor: Monitor, explicit: ExplicitMonitor,
+                           programs, run, verdict) -> Optional[dict]:
+    """A Definition 3.4 witness (implicit-vs-explicit trace pair) for a finding.
+
+    Exploration findings are scheduler-level (a commit order plus a verdict);
+    the definition the placement theorem is stated against talks about
+    *traces*.  This bridges the two: the counterexample's own run is replayed
+    through both the implicit transition relation (Figure 4) and the placed
+    monitor's explicit relation, producing a concrete trace that is feasible
+    under exactly one side — the executable content of the ROADMAP's
+    "signal-target nondeterminism" item.
+
+    * ``lost-wakeup`` — the witness trace blocks the starved thread where the
+      schedule did and appends its entered event: rules 2a/2b make it
+      implicit-feasible (the commits turned its guard true, so it was
+      notified), while the explicit relation — whose wakeups are exactly the
+      placed signals — cannot fire it.
+    * ``guard-violation`` — the commits themselves, as entered events, are
+      implicit-*infeasible* at the violating commit.
+    * ``state-divergence`` — the commit trace is feasible on both sides with
+      the same AST-level state; the divergence is against the *compiled*
+      instance, so the record carries the implicit final state and the
+      oracle's field diff instead of an infeasibility flag.
+
+    Returns ``None`` when no trace-pair form exists for the verdict kind
+    (stalls, step limits) or when the workload passes method arguments the
+    trace semantics cannot bind.
+    """
+    if _witness_plans(monitor, programs) is None:
+        return None
+    programs = [list(program) for program in programs]
+    implicit_sem = ImplicitSemantics(monitor)
+    explicit_sem = ExplicitSemantics(explicit)
+    state = MonitorState.initial(monitor)
+    base = _trace_from_run(monitor, programs, run)
+    kind = verdict.kind
+
+    def outcome_pair(trace):
+        try:
+            implicit = implicit_sem.run_trace(state.copy(), list(trace))
+            explicit_out = explicit_sem.run_trace(state.copy(), list(trace))
+        except Exception:
+            return None, None
+        return implicit, explicit_out
+
+    def filtered_base(tid: int) -> Optional[Tuple[Event, ...]]:
+        """Entered events plus only *tid*'s current blocking event.
+
+        Re-sleep cycles (woken, guard still false, back to sleep) show up as
+        extra blocked events the implicit relation only admits as rule-1b
+        steps; dropping them leaves a normalized candidate whose single
+        blocked event establishes the starved pair before its entered event.
+        """
+        last_commit = -1
+        for index, event in enumerate(base):
+            if event.thread == tid and event.entered:
+                last_commit = index
+        first_wait = None
+        for index in range(last_commit + 1, len(base)):
+            event = base[index]
+            if event.thread == tid and not event.entered:
+                first_wait = index
+                break
+        if first_wait is None:
+            return None
+        return tuple(event for index, event in enumerate(base)
+                     if event.entered or index == first_wait)
+
+    if kind == "lost-wakeup":
+        # Candidate completions: each sleeping thread's pending entered event.
+        positions: Dict[int, Tuple[int, int]] = {tid: (0, 0)
+                                                 for tid in range(len(programs))}
+        for event in base:
+            if event.entered:
+                op_index, ccr_index = positions[event.thread]
+                method = monitor.method(programs[event.thread][op_index][0])
+                if ccr_index + 1 < len(method.ccrs):
+                    positions[event.thread] = (op_index, ccr_index + 1)
+                else:
+                    positions[event.thread] = (op_index + 1, 0)
+        for tid in sorted(run.waiting):
+            op_index, ccr_index = positions[tid]
+            if op_index >= len(programs[tid]):
+                continue
+            method = monitor.method(programs[tid][op_index][0])
+            label = method.ccrs[ccr_index].label
+            candidates = []
+            filtered = filtered_base(tid)
+            if filtered is not None:
+                candidates.append(filtered + (Event(tid, label, True),))
+            candidates.append(tuple(base) + (Event(tid, label, True),))
+            for trace in candidates:
+                implicit, explicit_out = outcome_pair(trace)
+                if (implicit is not None and implicit.feasible
+                        and not explicit_out.feasible):
+                    return {
+                        "kind": kind,
+                        "trace": _serialize_trace(trace),
+                        "implicit_feasible": True,
+                        "implicit_normalized": implicit.normalized,
+                        "explicit_feasible": False,
+                        "starved_thread": tid,
+                        "starved_ccr": label,
+                    }
+        return None
+
+    if kind == "guard-violation" or kind == "commit-mismatch":
+        trace = tuple(event for event in base if event.entered)
+        implicit, explicit_out = outcome_pair(trace)
+        if implicit is None or implicit.feasible:
+            return None  # the violation is not visible at trace level
+        return {
+            "kind": kind,
+            "trace": _serialize_trace(trace),
+            "implicit_feasible": False,
+            "explicit_feasible": explicit_out.feasible,
+        }
+
+    if kind == "state-divergence":
+        trace = tuple(event for event in base if event.entered)
+        implicit, explicit_out = outcome_pair(trace)
+        if implicit is None or not implicit.feasible:
+            return None
+        return {
+            "kind": kind,
+            "trace": _serialize_trace(trace),
+            "implicit_feasible": True,
+            "implicit_normalized": implicit.normalized,
+            "explicit_feasible": explicit_out.feasible,
+            "implicit_state": {name: value for name, value
+                               in sorted(implicit.final.state.shared.items())},
+            "compiled_divergence": verdict.detail,
+        }
+
+    return None
