@@ -99,6 +99,8 @@ def _measure_semantic_matrices() -> dict:
         "total_seconds": round(sum(row["seconds"] for row in rows), 3),
         "commute_cache_hits": stats["commute_cache_hits"],
         "commute_cache_misses": stats["commute_cache_misses"],
+        # Lives on the solver, not the cache: pre-filtered pairs never reach it.
+        "commute_static_skips": solver.statistics["commute_static_skips"],
     }
 
 

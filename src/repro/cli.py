@@ -28,6 +28,11 @@ Usage examples::
     # Drop every placed notification; each must yield a counterexample.
     expresso mutate --threads 3 --ops 2 --workers 4
 
+    # Statically analyze monitors (placement cross-check + smells).
+    expresso lint path/to/monitor.mon
+    expresso lint --suite --json
+    expresso lint --benchmark BoundedBuffer --benchmark "Readers-Writers"
+
     # List the built-in benchmarks.
     expresso list
 """
@@ -208,6 +213,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="process-pool size (default: one per CPU)")
     mutate_cmd.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON instead of text")
+
+    lint_cmd = sub.add_parser(
+        "lint", help="statically analyze monitors: placement cross-check, "
+                     "concurrency smells, coop-emission shapes")
+    lint_cmd.add_argument("paths", nargs="*",
+                          help="implicit-signal monitor source files")
+    lint_cmd.add_argument("--benchmark", action="append", default=None,
+                          help="registry benchmark to lint (repeatable)")
+    lint_cmd.add_argument("--suite", action="store_true",
+                          help="lint every registry benchmark")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of text")
 
     sub.add_parser("list", help="list the built-in benchmarks")
     return parser
@@ -518,6 +535,63 @@ def _cmd_mutate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import LintReport, check_coop_waits, merge_reports
+    from repro.benchmarks_lib.registry import get_benchmark
+    from repro.harness.report import render_lint_table
+    from repro.smt.cache import FormulaCache
+
+    targets: List[tuple] = []  # (name, source)
+    for path in args.paths:
+        try:
+            targets.append((Path(path).stem, Path(path).read_text()))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.suite:
+        targets.extend((name, spec.source)
+                       for name, spec in ALL_BENCHMARKS.items())
+    elif args.benchmark:
+        try:
+            targets.extend((spec.name, spec.source)
+                           for spec in map(get_benchmark, args.benchmark))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if not targets:
+        print("error: nothing to lint — give monitor paths, --benchmark, "
+              "or --suite", file=sys.stderr)
+        return 2
+
+    # Placement re-derivation dominates lint time; share the formula cache so
+    # suite runs amortize the near-duplicate VCs across monitors.
+    pipeline = ExpressoPipeline(cache=FormulaCache())
+    reports: List[LintReport] = []
+    for name, source in targets:
+        try:
+            result = pipeline.compile(source)
+        except Exception as exc:
+            print(f"error: cannot compile {name}: {exc}", file=sys.stderr)
+            return 2
+        findings = list(result.lint_report.findings)
+        # The pipeline lints the placed monitor; the coop emission shape
+        # check needs generated source, so the CLI adds it here.
+        coop_source = generate_python_explicit(result.explicit, coop=True)
+        findings.extend(check_coop_waits(coop_source))
+        reports.append(LintReport(monitor=name, findings=tuple(findings)))
+
+    any_error = any(report.errors for report in reports)
+    if args.json:
+        print(json.dumps(merge_reports(reports), indent=2))
+        return 1 if any_error else 0
+    print(render_lint_table(reports))
+    dirty = [report for report in reports if not report.clean]
+    for report in dirty:
+        print()
+        print(report.render())
+    return 1 if any_error else 0
+
+
 def _cmd_list(_args) -> int:
     for name, spec in ALL_BENCHMARKS.items():
         print(f"{name:32s} figure {spec.figure}   ({spec.origin})")
@@ -533,6 +607,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explore": _cmd_explore,
         "fuzz": _cmd_fuzz,
         "mutate": _cmd_mutate,
+        "lint": _cmd_lint,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -169,7 +169,7 @@ def _evaluate_candidate(job: dict) -> dict:
         result, explicit=compiled.explicit,
         matrix=getattr(coop_class, "_coop_semantic", None),
         placement_signature=signature)
-    return {
+    outcome = {
         "entry_id": job["entry_id"],
         "features": {axis: sorted(values) for axis, values in features.items()},
         "fingerprint": coverage_fingerprint(features),
@@ -184,6 +184,11 @@ def _evaluate_candidate(job: dict) -> dict:
         "ok": result.ok,
         "failures": [failure.to_dict() for failure in result.failures],
     }
+    # A dirty static analysis on a generated monitor is triage signal for any
+    # dynamic finding; clean reports stay out to keep artifacts stable.
+    if compiled.lint_report is not None and not compiled.lint_report.clean:
+        outcome["lint"] = compiled.lint_report.to_dict()
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -310,6 +315,8 @@ def run_campaign(config: FuzzConfig,
                 "coverage_fingerprint": outcome["fingerprint"],
                 **failure,
             }
+            if "lint" in outcome:
+                findings[key]["lint"] = outcome["lint"]
 
     def budget_left() -> bool:
         return (result.schedules_run < config.budget

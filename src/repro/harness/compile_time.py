@@ -40,6 +40,7 @@ class CompileTimeRow:
     cache_misses: int = 0
     commute_cache_hits: int = 0
     commute_cache_misses: int = 0
+    commute_static_skips: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -66,6 +67,7 @@ def _compile_row(spec: BenchmarkSpec, use_commutativity: bool) -> CompileTimeRow
         cache_misses=result.solver_statistics.get("cache_misses", 0),
         commute_cache_hits=result.solver_statistics.get("commute_cache_hits", 0),
         commute_cache_misses=result.solver_statistics.get("commute_cache_misses", 0),
+        commute_static_skips=result.solver_statistics.get("commute_static_skips", 0),
     )
 
 

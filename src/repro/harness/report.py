@@ -212,6 +212,36 @@ def render_fuzz_table(result) -> str:
     return "\n".join(lines)
 
 
+def render_lint_table(reports: Sequence) -> str:
+    """Render static-analyzer reports as a text table.
+
+    Accepts :class:`repro.analysis.lint.report.LintReport` rows (typed
+    loosely to keep the harness importable without the lint subsystem).
+    """
+    header = "Static monitor analysis (expresso lint)"
+    lines = [header, "-" * len(header)]
+    lines.append("Monitor".ljust(30) + "Errors".ljust(8)
+                 + "Advisories".ljust(12) + "Checks")
+    total_errors = 0
+    total_advisories = 0
+    for report in reports:
+        total_errors += len(report.errors)
+        total_advisories += len(report.advisories)
+        counts = report.counts()
+        detail = ("  ".join(f"{check}={n}" for check, n in counts.items())
+                  if counts else "clean")
+        lines.append(report.monitor.ljust(30)
+                     + str(len(report.errors)).ljust(8)
+                     + str(len(report.advisories)).ljust(12)
+                     + detail)
+    lines.append("-" * len(header))
+    lines.append(f"TOTAL: {len(reports)} monitor{'s' if len(reports) != 1 else ''}, "
+                 f"{total_errors} error{'s' if total_errors != 1 else ''}, "
+                 f"{total_advisories} "
+                 f"advisor{'ies' if total_advisories != 1 else 'y'}")
+    return "\n".join(lines)
+
+
 def speedup_summary(all_series: Iterable[FigureSeries]) -> Dict[str, float]:
     """The headline aggregates: mean speedups of Expresso over each baseline."""
     per_baseline: Dict[str, List[float]] = {}

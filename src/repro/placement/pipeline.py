@@ -24,6 +24,7 @@ from repro.logic.terms import Expr
 from repro.lang import load_monitor
 from repro.lang.ast import Monitor
 from repro.analysis.invariants import InvariantInferenceResult, infer_monitor_invariant
+from repro.analysis.lint import LintReport, lint_explicit
 from repro.placement.algorithm import (
     PlacementResult,
     generate_placement_triples,
@@ -46,6 +47,7 @@ class ExpressoResult:
     explicit: ExplicitMonitor
     elapsed_seconds: float
     solver_statistics: Dict[str, int]
+    lint_report: Optional[LintReport] = None
 
     def summary(self) -> str:
         """A short human-readable report (used by the CLI and examples)."""
@@ -64,7 +66,17 @@ class ExpressoResult:
             f"commute cache      : "
             f"{self.solver_statistics.get('commute_cache_hits', 0)} hits / "
             f"{self.solver_statistics.get('commute_cache_misses', 0)} misses",
+            f"static pre-filter  : "
+            f"{self.solver_statistics.get('commute_static_skips', 0)} "
+            f"commute queries skipped",
         ]
+        if self.lint_report is not None:
+            if self.lint_report.clean:
+                lint_line = "clean"
+            else:
+                lint_line = (f"{len(self.lint_report.errors)} error(s), "
+                             f"{len(self.lint_report.advisories)} advisory(ies)")
+            lines.append(f"lint               : {lint_line}")
         return "\n".join(lines)
 
 
@@ -92,17 +104,25 @@ class ExpressoPipeline:
         is given, which carries its own).  Pass a shared
         :class:`~repro.smt.cache.FormulaCache` to memoize across compiles
         without sharing solver state.
+    lint:
+        Run the static analyzer (:mod:`repro.analysis.lint`) on the placed
+        monitor and attach its :class:`LintReport` to the result.  The
+        missing-signal cross-check re-asks placement's own omission triples,
+        which the formula cache answers for free; disable for benchmarking
+        the bare synthesis path.  Lint never changes the produced artifacts.
     """
 
     def __init__(self, use_commutativity: bool = True, infer_invariant: bool = True,
                  extra_invariant_candidates: Sequence[Expr] = (),
                  solver: Optional[Solver] = None,
-                 cache: Optional[FormulaCache] = None):
+                 cache: Optional[FormulaCache] = None,
+                 lint: bool = True):
         self.use_commutativity = use_commutativity
         self.infer_invariant = infer_invariant
         self.extra_invariant_candidates = tuple(extra_invariant_candidates)
         self._solver = solver
         self._cache = cache
+        self.lint = lint
 
     def config_key(self) -> Tuple:
         """A hashable key identifying the *semantic* pipeline configuration.
@@ -112,7 +132,7 @@ class ExpressoPipeline:
         (it changes speed, never results).  Used by the harness caches.
         """
         return (self.use_commutativity, self.infer_invariant,
-                self.extra_invariant_candidates)
+                self.extra_invariant_candidates, self.lint)
 
     def compile(self, source: Union[str, Monitor]) -> ExpressoResult:
         """Compile implicit-signal monitor source (or a parsed monitor)."""
@@ -138,6 +158,7 @@ class ExpressoPipeline:
         placement = place_signals(monitor, invariant, solver,
                                   use_commutativity=self.use_commutativity)
         explicit = instrument(monitor, placement)
+        lint_report = lint_explicit(explicit, solver=solver) if self.lint else None
         elapsed = time.perf_counter() - start
         # Shared solvers serve many compiles; report this compile's share only.
         stats_delta = {
@@ -152,6 +173,7 @@ class ExpressoPipeline:
             explicit=explicit,
             elapsed_seconds=elapsed,
             solver_statistics=stats_delta,
+            lint_report=lint_report,
         )
 
 

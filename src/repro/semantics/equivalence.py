@@ -17,13 +17,13 @@ implicit monitor would have woken — the bug class signal placement must avoid.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.lang.ast import Monitor
 from repro.placement.target import ExplicitMonitor
 from repro.semantics.explicit import ExplicitSemantics
-from repro.semantics.implicit import Configuration, ImplicitSemantics
+from repro.semantics.implicit import Configuration, ImplicitSemantics, TraceOutcome
 from repro.semantics.state import MonitorState, Value
 from repro.semantics.traces import Event
 
@@ -193,17 +193,83 @@ def _trace_from_run(monitor: Monitor, programs, run) -> List[Event]:
     return trace
 
 
-def _witness_plans(monitor: Monitor, programs) -> Optional[List[ThreadPlan]]:
-    """ThreadPlans mirroring a coop workload (parameterless methods only)."""
-    plans: List[ThreadPlan] = []
+def _bind_args(monitor: Monitor,
+               programs) -> Optional[Dict[Tuple[int, int], Dict[str, Value]]]:
+    """Per-(thread, op) argument environments for a coop workload.
+
+    Maps each call's positional arguments onto the method's parameter names
+    so the trace semantics can evaluate parameter-reading guards and bodies.
+    Returns ``None`` on an arity mismatch (no trace-level reading exists).
+    """
+    envs: Dict[Tuple[int, int], Dict[str, Value]] = {}
     for tid, program in enumerate(programs):
-        methods = []
-        for method_name, args in program:
-            if args:
+        for op_index, (method_name, args) in enumerate(program):
+            params = monitor.method(method_name).param_names()
+            if len(args) != len(params):
                 return None
-            methods.append(method_name)
-        plans.append(ThreadPlan(tid, tuple(methods)))
-    return plans
+            if params:
+                envs[(tid, op_index)] = dict(zip(params, args))
+    return envs
+
+
+def _run_trace_with_args(semantics, monitor: Monitor, programs,
+                         arg_envs: Mapping[Tuple[int, int], Dict[str, Value]],
+                         state: MonitorState,
+                         trace: Sequence[Event]) -> TraceOutcome:
+    """Replay *trace*, binding each call's arguments on method entry.
+
+    Position tracking mirrors :func:`_trace_from_run`: a thread sits at
+    ``(op_index, ccr_index)`` and advances on its entered events, so the
+    binding for op *k* is installed exactly while the thread is at its first
+    CCR.  Binding *replaces* the thread's locals — each call is a fresh
+    activation frame, as in the coop runtime — and is idempotent across the
+    repeated blocked events a waiting thread emits.
+
+    A frontier of configurations makes this one replay loop serve both the
+    deterministic implicit relation and the nondeterministic explicit one
+    (feasible iff some resolution of signal targets consumes the trace);
+    a rule-1b-free survivor is preferred so ``normalized`` stays meaningful.
+    """
+    positions: Dict[int, Tuple[int, int]] = {tid: (0, 0)
+                                             for tid in range(len(programs))}
+
+    def bind(config: Configuration, event: Event) -> Configuration:
+        op_index, ccr_index = positions[event.thread]
+        if ccr_index != 0 or op_index >= len(programs[event.thread]):
+            return config
+        env = arg_envs.get((event.thread, op_index))
+        if env is None:
+            return config
+        new_state = config.state.copy()
+        new_state.locals[event.thread] = dict(env)
+        return replace(config, state=new_state)
+
+    frontier: List[Tuple[Configuration, bool]] = [
+        (semantics.initial_configuration(state), False)
+    ]
+    for event in trace:
+        next_frontier: List[Tuple[Configuration, bool]] = []
+        for config, used_1b in frontier:
+            for successor, spurious in semantics.successors(bind(config, event), event):
+                entry = (successor, used_1b or spurious)
+                if entry not in next_frontier:
+                    next_frontier.append(entry)
+        if not next_frontier:
+            return TraceOutcome(False)
+        frontier = next_frontier
+        if event.entered:
+            op_index, ccr_index = positions[event.thread]
+            if op_index < len(programs[event.thread]):
+                method = monitor.method(programs[event.thread][op_index][0])
+                if ccr_index + 1 < len(method.ccrs):
+                    positions[event.thread] = (op_index, ccr_index + 1)
+                else:
+                    positions[event.thread] = (op_index + 1, 0)
+    for config, used_1b in frontier:
+        if not used_1b:
+            return TraceOutcome(True, config, False)
+    config, used_1b = frontier[0]
+    return TraceOutcome(True, config, used_1b)
 
 
 def _serialize_trace(trace: Sequence[Event]) -> list:
@@ -235,10 +301,13 @@ def counterexample_witness(monitor: Monitor, explicit: ExplicitMonitor,
       oracle's field diff instead of an infeasibility flag.
 
     Returns ``None`` when no trace-pair form exists for the verdict kind
-    (stalls, step limits) or when the workload passes method arguments the
-    trace semantics cannot bind.
+    (stalls, step limits) or when a call's arity does not match its method
+    (nothing for the trace semantics to bind).  Parameterized workloads are
+    handled by installing each call's argument environment at method entry
+    during replay (:func:`_run_trace_with_args`).
     """
-    if _witness_plans(monitor, programs) is None:
+    arg_envs = _bind_args(monitor, programs)
+    if arg_envs is None:
         return None
     programs = [list(program) for program in programs]
     implicit_sem = ImplicitSemantics(monitor)
@@ -249,8 +318,10 @@ def counterexample_witness(monitor: Monitor, explicit: ExplicitMonitor,
 
     def outcome_pair(trace):
         try:
-            implicit = implicit_sem.run_trace(state.copy(), list(trace))
-            explicit_out = explicit_sem.run_trace(state.copy(), list(trace))
+            implicit = _run_trace_with_args(
+                implicit_sem, monitor, programs, arg_envs, state.copy(), list(trace))
+            explicit_out = _run_trace_with_args(
+                explicit_sem, monitor, programs, arg_envs, state.copy(), list(trace))
         except Exception:
             return None, None
         return implicit, explicit_out

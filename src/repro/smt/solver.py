@@ -110,6 +110,7 @@ class Solver:
             "theory_lemmas": 0,
             "commute_cache_hits": 0,
             "commute_cache_misses": 0,
+            "commute_static_skips": 0,
         }
         self._atom_table = AtomTable()
         self._theory_lemmas: List[Tuple[int, ...]] = []

@@ -544,3 +544,72 @@ class TestExploreCliFlags:
         assert rc == 0
         assert decoded["total"] == 2
         assert decoded["survived"] == 0
+
+
+class TestStaticPrefilter:
+    """The lint dataflow's independence tier must change query counts only —
+    never a matrix entry, a placement, or an exploration verdict."""
+
+    def test_matrices_identical_on_vs_off(self):
+        from repro.analysis.commutativity import (
+            semantic_independence_for_explicit,
+            set_static_prefilter,
+        )
+        from repro.smt.cache import FormulaCache
+        from repro.smt.solver import Solver
+
+        solver_on = Solver(cache=FormulaCache())
+        solver_off = Solver(cache=FormulaCache())
+        for name in sorted(ALL_BENCHMARKS):
+            explicit = expresso_result(get_benchmark(name)).explicit
+            previous = set_static_prefilter(True)
+            try:
+                matrix_on = semantic_independence_for_explicit(explicit, solver_on)
+                set_static_prefilter(False)
+                matrix_off = semantic_independence_for_explicit(explicit, solver_off)
+            finally:
+                set_static_prefilter(previous)
+            assert matrix_on == matrix_off, name
+        assert solver_on.statistics["commute_static_skips"] > 0
+        assert solver_off.statistics["commute_static_skips"] == 0
+        # The skipped pairs translate into strictly fewer SMT queries.
+        assert (solver_on.statistics["validity_queries"]
+                < solver_off.statistics["validity_queries"])
+
+    def test_placement_unchanged_with_prefilter_off(self, buffer_spec,
+                                                    buffer_result):
+        from repro.analysis.commutativity import set_static_prefilter
+        from repro.placement.pipeline import ExpressoPipeline
+
+        previous = set_static_prefilter(False)
+        try:
+            off = ExpressoPipeline().compile(buffer_spec.monitor())
+        finally:
+            set_static_prefilter(previous)
+        assert off.explicit == buffer_result.explicit
+        assert off.solver_statistics.get("commute_static_skips", 0) == 0
+
+    def test_exploration_verdicts_identical_on_vs_off(self, buffer_spec,
+                                                      buffer_result):
+        from repro.analysis.commutativity import set_static_prefilter
+
+        site = buffer_result.explicit.notification_sites()[0]
+        mutant = buffer_result.explicit.without_notification(*site)
+        outcomes = {}
+        for enabled in (True, False):
+            previous = set_static_prefilter(enabled)
+            try:
+                clean = explore_explicit(buffer_result.explicit,
+                                         buffer_result.monitor,
+                                         buffer_spec.workload(2, 2),
+                                         strategy="dfs", budget=5000)
+                broken = explore_explicit(mutant, buffer_result.monitor,
+                                          buffer_spec.workload(3, 2),
+                                          strategy="dfs", budget=5000)
+            finally:
+                set_static_prefilter(previous)
+            outcomes[enabled] = (clean.ok, clean.schedules_run, clean.exhausted,
+                                 broken.ok, _verdict_kinds(broken),
+                                 broken.schedules_run)
+        assert outcomes[True] == outcomes[False]
+        assert outcomes[True][0] and not outcomes[True][3]

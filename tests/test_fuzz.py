@@ -326,6 +326,25 @@ class TestWitness:
         assert witness["trace"], "witness must carry the trace pair"
         assert "witness" in result.failures[0].to_dict()
 
+    def test_parameterized_workload_mutants_carry_witnesses(self):
+        # Regression: argument environments now flow through the trace
+        # semantics, so benchmarks whose workloads pass method arguments
+        # get Definition 3.4 witnesses too (this used to return None).
+        spec = get_benchmark("Round Robin")
+        compiled = expresso_result(spec)
+        programs = spec.workload(3, 2)
+        assert any(args for prog in programs for _m, args in prog)
+        site = compiled.explicit.notification_sites()[0]
+        mutant = compiled.explicit.without_notification(*site)
+        result = explore_explicit(mutant, compiled.monitor, programs,
+                                  strategy="dfs", budget=5000, witness=True)
+        assert not result.ok
+        witness = result.failures[0].witness
+        assert witness is not None
+        assert witness["kind"] == "lost-wakeup"
+        assert witness["implicit_feasible"] is True
+        assert witness["explicit_feasible"] is False
+
     def test_witness_absent_without_the_flag(self):
         spec = get_benchmark("BoundedBuffer")
         compiled = expresso_result(spec)
