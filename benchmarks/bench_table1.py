@@ -62,6 +62,12 @@ if pytest is not None:
         benchmark.extra_info["cache_hits"] = hits
         benchmark.extra_info["cache_misses"] = misses
         benchmark.extra_info["cache_hit_rate"] = round(hits / (hits + misses), 3) if hits + misses else 0.0
+        # Per-phase wall breakdown (parse/invariants/placement/instrument/lint)
+        # so a slow row can be attributed without re-running under the tracer.
+        benchmark.extra_info["phase_seconds"] = {
+            phase: round(seconds, 4)
+            for phase, seconds in result.phase_seconds.items()
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro import obs
 from repro.logic import build
 from repro.logic.free_vars import free_vars
 from repro.logic.terms import Expr, Var
@@ -86,18 +87,37 @@ def _count(solver: Solver, key: str) -> None:
 
 
 def _memo(solver: Solver, key, compute) -> bool:
-    """Look a verdict up in the solver's commute memo, computing on miss."""
+    """Look a verdict up in the solver's commute memo, computing on miss.
+
+    With a tracer active, each memo consultation becomes a ``commute.pair``
+    span tagged with the pair's structural hash and its cache outcome, so a
+    trace shows exactly which independence checks hit the solver.
+    """
     cache = solver.cache
     if cache is None:
         return compute()
-    verdict = cache.lookup_commute(key)
-    if verdict is not None:
-        _count(solver, "commute_cache_hits")
+    tracer = obs.tracer()
+    if not tracer.enabled:
+        verdict = cache.lookup_commute(key)
+        if verdict is not None:
+            _count(solver, "commute_cache_hits")
+            return verdict
+        _count(solver, "commute_cache_misses")
+        verdict = compute()
+        cache.store_commute(key, verdict)
         return verdict
-    _count(solver, "commute_cache_misses")
-    verdict = compute()
-    cache.store_commute(key, verdict)
-    return verdict
+    with tracer.span("commute.pair", cat="commute", kind=str(key[0]),
+                     formula=obs.formula_fingerprint(key)) as span:
+        verdict = cache.lookup_commute(key)
+        if verdict is not None:
+            _count(solver, "commute_cache_hits")
+            span.set(cache="hit", verdict=bool(verdict))
+            return verdict
+        _count(solver, "commute_cache_misses")
+        verdict = compute()
+        cache.store_commute(key, verdict)
+        span.set(cache="miss", verdict=bool(verdict))
+        return verdict
 
 
 def bodies_commute(first: Stmt, second: Stmt, solver: Optional[Solver] = None,
@@ -119,6 +139,12 @@ def bodies_commute(first: Stmt, second: Stmt, solver: Optional[Solver] = None,
         if (effects_a.summarizable and effects_b.summarizable
                 and effects_a.disjoint_from(effects_b)):
             _count(solver, "commute_static_skips")
+            tracer = obs.tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "commute.pair", cat="commute", kind="bodies",
+                    cache="static_skip",
+                    formula=obs.formula_fingerprint((first, second)))
             return True
     return _memo(solver, ("bodies", first, second, shared_names),
                  lambda: _bodies_commute(first, second, solver, shared_names))
@@ -382,6 +408,12 @@ def methods_semantically_independent(method_a, method_b, shared_names: frozenset
         # answered True segment by segment anyway, just more slowly.
         if effects_a.disjoint_from(effects_b):
             _count(solver, "commute_static_skips")
+            tracer = obs.tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "commute.pair", cat="commute", kind="methods",
+                    cache="static_skip",
+                    pair=f"{method_a.name}/{method_b.name}")
             return True
     for ccr_a in method_a.ccrs:
         for ccr_b in method_b.ccrs:
@@ -504,15 +536,41 @@ def semantic_independence_for_explicit(
     solver = solver or _default_solver()
     shared = frozenset(decl.name for decl in explicit.fields)
     matrix: Dict[Tuple[str, str], bool] = {}
-    for method_a in explicit.methods:
-        for method_b in explicit.methods:
-            pair = (method_a.name, method_b.name)
-            if (pair[1], pair[0]) in matrix:
-                matrix[pair] = matrix[(pair[1], pair[0])]
-                continue
-            matrix[pair] = methods_semantically_independent(
-                method_a, method_b, shared, solver)
+    with obs.tracer().span("commute.matrix", cat="commute",
+                           monitor=getattr(explicit, "name", "?")):
+        for method_a in explicit.methods:
+            for method_b in explicit.methods:
+                pair = (method_a.name, method_b.name)
+                if (pair[1], pair[0]) in matrix:
+                    matrix[pair] = matrix[(pair[1], pair[0])]
+                    continue
+                matrix[pair] = methods_semantically_independent(
+                    method_a, method_b, shared, solver)
     return matrix
+
+
+def matrix_with_statistics(
+        explicit, solver: Optional[Solver] = None,
+) -> Tuple[Dict[Tuple[str, str], bool], Dict[str, int]]:
+    """The independence matrix plus *this build's own* solver-stats delta.
+
+    The module's shared default solver accumulates statistics across every
+    matrix built in the process, so reading ``solver.statistics`` after a
+    build over-reports all builds after the first.  This wrapper
+    snapshot/diffs around the build (the registry pattern), giving each
+    monitor its isolated share; the delta also lands in the active metrics
+    registry under ``explore.matrix.*``.
+    """
+    solver = solver if solver is not None else _default_solver()
+    before = solver.snapshot_statistics()
+    matrix = semantic_independence_for_explicit(explicit, solver)
+    delta = {key: value - before.get(key, 0)
+             for key, value in solver.statistics.items()}
+    registry = obs.registry()
+    for key, value in delta.items():
+        if value:
+            registry.inc(f"explore.matrix.{key}", value)
+    return matrix, delta
 
 
 def _sort_of_value(expr: Expr):

@@ -66,6 +66,10 @@ class LintReport:
 
     monitor: str
     findings: Tuple[LintFinding, ...] = ()
+    #: Optional per-monitor analysis statistics (the CLI attaches the
+    #: compile's ``commute_static_skips`` pre-filter effect and the lint
+    #: phase's wall time so the CI lint-report artifact carries both).
+    stats: Optional[Dict[str, Any]] = None
 
     @property
     def errors(self) -> Tuple[LintFinding, ...]:
@@ -92,7 +96,7 @@ class LintReport:
         return dict(sorted(tally.items()))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "monitor": self.monitor,
             "ok": self.ok,
             "clean": self.clean,
@@ -101,6 +105,9 @@ class LintReport:
             "counts": self.counts(),
             "findings": [finding.to_dict() for finding in self.findings],
         }
+        if self.stats is not None:
+            payload["stats"] = dict(self.stats)
+        return payload
 
     def render(self) -> str:
         """A human-readable block (used by ``expresso lint``)."""
@@ -117,7 +124,7 @@ class LintReport:
 
 def merge_reports(reports: List[LintReport]) -> Dict[str, Any]:
     """A suite-level JSON document (``expresso lint --suite --json``)."""
-    return {
+    document = {
         "ok": all(report.ok for report in reports),
         "clean": all(report.clean for report in reports),
         "monitors": len(reports),
@@ -125,3 +132,11 @@ def merge_reports(reports: List[LintReport]) -> Dict[str, Any]:
         "advisories": sum(len(report.advisories) for report in reports),
         "reports": [report.to_dict() for report in reports],
     }
+    if any(report.stats for report in reports):
+        document["commute_static_skips"] = sum(
+            int((report.stats or {}).get("commute_static_skips", 0))
+            for report in reports)
+        document["lint_seconds"] = round(sum(
+            float((report.stats or {}).get("lint_seconds", 0.0))
+            for report in reports), 6)
+    return document

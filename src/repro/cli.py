@@ -87,6 +87,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="disable the §4.3 broadcast-elimination improvement")
     compile_cmd.add_argument("--no-invariant", action="store_true",
                              help="run placement with I = true (ablation)")
+    compile_cmd.add_argument("--trace", metavar="FILE", default=None,
+                             help="write a deterministic Chrome-trace-event "
+                                  "JSON flight recording (Perfetto-loadable)")
 
     explain_cmd = sub.add_parser("explain", help="show invariant and placement decisions")
     explain_cmd.add_argument("path", help="path to the implicit-signal monitor source")
@@ -162,6 +165,10 @@ def _build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument("--witness", action="store_true",
                              help="attach a Definition 3.4 implicit-vs-"
                                   "explicit trace witness to every finding")
+    explore_cmd.add_argument("--trace", metavar="FILE", default=None,
+                             help="write a deterministic Chrome-trace-event "
+                                  "JSON flight recording (per-schedule spans "
+                                  "with prune provenance; shard-merged)")
     explore_cmd.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON instead of text")
 
@@ -196,6 +203,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default: dfs)")
     fuzz_cmd.add_argument("--max-steps", type=_positive_int, default=20_000,
                           help="per-schedule step bound (default: 20000)")
+    fuzz_cmd.add_argument("--trace", metavar="FILE", default=None,
+                          help="write a deterministic Chrome-trace-event "
+                               "JSON flight recording of the whole campaign")
     fuzz_cmd.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of text")
 
@@ -213,6 +223,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="process-pool size (default: one per CPU)")
     mutate_cmd.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON instead of text")
+
+    profile_cmd = sub.add_parser(
+        "profile", help="profile SMT solver time by phase, caller site and "
+                        "formula hash across compiles")
+    profile_cmd.add_argument("paths", nargs="*",
+                             help="implicit-signal monitor source files")
+    profile_cmd.add_argument("--benchmark", action="append", default=None,
+                             help="registry benchmark to profile (repeatable)")
+    profile_cmd.add_argument("--suite", action="store_true",
+                             help="profile every registry benchmark")
+    profile_cmd.add_argument("--top", type=_positive_int, default=10,
+                             help="hot-query table size (default: 10)")
+    profile_cmd.add_argument("--trace", metavar="FILE", default=None,
+                             help="also write the session's Chrome-trace-"
+                                  "event JSON (with real timestamps)")
+    profile_cmd.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON instead of text")
 
     lint_cmd = sub.add_parser(
         "lint", help="statically analyze monitors: placement cross-check, "
@@ -239,7 +266,16 @@ def _pipeline_from_args(args) -> ExpressoPipeline:
 
 def _cmd_compile(args) -> int:
     source = Path(args.path).read_text()
-    result = _pipeline_from_args(args).compile(source)
+    if args.trace:
+        from repro import obs
+
+        with obs.observe(trace=True) as session:
+            result = _pipeline_from_args(args).compile(source)
+        obs.write_trace(args.trace, [session.tracer.events],
+                        session.registry.snapshot())
+        print(f"// trace written to {args.trace}", file=sys.stderr)
+    else:
+        result = _pipeline_from_args(args).compile(source)
     if args.emit == "java":
         print(generate_java(result.explicit, lazy_broadcast=args.lazy_broadcast))
     elif args.emit == "python":
@@ -404,6 +440,12 @@ def _cmd_explore(args) -> int:
             return 2
         return _cmd_replay(args)
 
+    if args.trace and args.fuzz is not None:
+        print("error: --trace records registry-benchmark explorations; "
+              "use `expresso fuzz --trace` for campaign recordings",
+              file=sys.stderr)
+        return 2
+
     if args.fuzz is not None:
         if args.benchmark or args.discipline != "expresso":
             print("error: --fuzz generates its own monitors and always explores "
@@ -436,13 +478,17 @@ def _cmd_explore(args) -> int:
         specs = list(ALL_BENCHMARKS.values())
     results = []
     for spec in specs:
-        if args.workers > 1:
+        if args.workers > 1 or args.trace:
+            # Traced runs always go through the parallel driver: its
+            # sequential fallback records into the same shard surface, so
+            # the emitted artifact is byte-identical across worker counts.
             results.append(parallel_explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
                 strategy=args.strategy, budget=args.schedules, seed=args.seed,
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
                 por=args.por, semantic=args.semantic, symmetry=args.symmetry,
-                witness=args.witness, workers=args.workers))
+                witness=args.witness, trace=bool(args.trace),
+                workers=args.workers))
         else:
             results.append(explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
@@ -450,6 +496,18 @@ def _cmd_explore(args) -> int:
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
                 por=args.por, semantic=args.semantic, symmetry=args.symmetry,
                 witness=args.witness))
+    if args.trace:
+        from repro import obs
+
+        shards = [events for result in results
+                  for events in (result.trace_shards or [])]
+        registry = obs.MetricsRegistry()
+        for result in results:
+            if result.metrics_snapshot:
+                registry.merge(result.metrics_snapshot)
+        obs.write_trace(args.trace, shards, registry.snapshot())
+        if not args.json:
+            print(f"trace written to {args.trace}", file=sys.stderr)
     ok = all(result.ok for result in results)
     if args.json:
         print(json.dumps({"results": [result.to_dict() for result in results],
@@ -478,8 +536,15 @@ def _cmd_fuzz(args) -> int:
         per_run_budget=args.per_run_budget, threads=args.threads,
         ops=args.ops, batch_size=args.batch_size, bootstrap=args.bootstrap,
         max_findings=args.max_findings, workers=args.workers,
-        strategy=args.strategy, max_steps=args.max_steps)
+        strategy=args.strategy, max_steps=args.max_steps,
+        trace=bool(args.trace))
     result = run_campaign(config, CorpusStore(args.corpus_dir))
+    if args.trace:
+        from repro import obs
+
+        obs.write_trace(args.trace, result.trace_shards or [],
+                        result.metrics_snapshot)
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0 if result.ok else 1
@@ -535,6 +600,72 @@ def _cmd_mutate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from repro import obs
+    from repro.benchmarks_lib.registry import get_benchmark
+    from repro.harness.report import render_profile_table
+    from repro.smt.cache import FormulaCache
+
+    targets: List[tuple] = []  # (name, source)
+    for path in args.paths:
+        try:
+            targets.append((Path(path).stem, Path(path).read_text()))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.suite or not (targets or args.benchmark):
+        # With no explicit target the whole suite is the interesting unit.
+        targets.extend((name, spec.source)
+                       for name, spec in ALL_BENCHMARKS.items())
+    if args.benchmark:
+        try:
+            targets.extend((spec.name, spec.source)
+                           for spec in map(get_benchmark, args.benchmark))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    pipeline = ExpressoPipeline(cache=FormulaCache())
+    compiles = []
+    with obs.observe(trace=True, profile=True) as session:
+        start = time.perf_counter()
+        for name, source in targets:
+            try:
+                result = pipeline.compile(source)
+            except Exception as exc:
+                print(f"error: cannot compile {name}: {exc}", file=sys.stderr)
+                return 2
+            compiles.append((name, result))
+        wall = time.perf_counter() - start
+    phases, span_seconds = obs.phase_attribution(session.tracer.events)
+    coverage = span_seconds / wall if wall > 0 else 0.0
+    profiler = session.profiler
+    if args.trace:
+        obs.write_trace(args.trace, [session.tracer.events],
+                        session.registry.snapshot(), deterministic=False)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "monitors": [name for name, _result in compiles],
+            "wall_seconds": wall,
+            "span_seconds": span_seconds,
+            "span_coverage": coverage,
+            "queries": profiler.total_queries,
+            "solver_seconds": profiler.total_seconds,
+            "phases": {name: dict(agg) for name, agg in sorted(phases.items())},
+            "top": profiler.top(args.top),
+            "by_caller": {name: dict(agg) for name, agg in
+                          sorted(profiler.by_caller().items())},
+            "metrics": session.registry.snapshot(),
+        }, indent=2))
+        return 0
+    print(render_profile_table(profiler, phases, wall_seconds=wall,
+                               top=args.top))
+    print(f"span coverage: {span_seconds:.3f}s of {wall:.3f}s wall "
+          f"({coverage:.1%}) across {len(compiles)} compile(s)")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import LintReport, check_coop_waits, merge_reports
     from repro.benchmarks_lib.registry import get_benchmark
@@ -578,7 +709,15 @@ def _cmd_lint(args) -> int:
         # check needs generated source, so the CLI adds it here.
         coop_source = generate_python_explicit(result.explicit, coop=True)
         findings.extend(check_coop_waits(coop_source))
-        reports.append(LintReport(monitor=name, findings=tuple(findings)))
+        reports.append(LintReport(
+            monitor=name,
+            findings=tuple(findings),
+            stats={
+                "commute_static_skips":
+                    result.solver_statistics.get("commute_static_skips", 0),
+                "lint_seconds":
+                    round(result.phase_seconds.get("lint", 0.0), 6),
+            }))
 
     any_error = any(report.errors for report in reports)
     if args.json:
@@ -607,6 +746,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explore": _cmd_explore,
         "fuzz": _cmd_fuzz,
         "mutate": _cmd_mutate,
+        "profile": _cmd_profile,
         "lint": _cmd_lint,
         "list": _cmd_list,
     }

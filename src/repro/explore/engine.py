@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.codegen.python_gen import (
     generate_python_autosynch,
     generate_python_explicit,
@@ -347,12 +348,18 @@ def coop_class_for_explicit(explicit: ExplicitMonitor,
     queries; by default the commutativity module's shared solver memoizes
     verdicts across every class built in the process.
     """
-    from repro.analysis.commutativity import semantic_independence_for_explicit
+    from repro.analysis.commutativity import matrix_with_statistics
     from repro.codegen.python_gen import placement_signature
 
     footprints = footprints_for_explicit(explicit)
-    matrix = (semantic_independence_for_explicit(explicit, solver=solver)
-              if semantic else None)
+    matrix = None
+    matrix_stats: Dict[str, int] = {}
+    if semantic:
+        # snapshot/diff isolation: the commutativity module's shared solver
+        # accumulates across every class built in the process, so only this
+        # build's own delta is attributed to this class (and to the
+        # ``explore.matrix.*`` registry counters).
+        matrix, matrix_stats = matrix_with_statistics(explicit, solver=solver)
     signature = (placement_signature(placement)
                  if placement is not None else None)
     source = generate_python_explicit(explicit, class_name=class_name, coop=True,
@@ -366,6 +373,10 @@ def coop_class_for_explicit(explicit: ExplicitMonitor,
     # checks, ``_coop_wait_info`` the wait-entry refinement.
     cls._coop_wait_info = wait_info_for_explicit(explicit)
     cls._coop_explicit = explicit
+    #: This build's own share of the matrix solver work (empty for
+    #: ``semantic=False``) — the per-monitor attribution the cumulative
+    #: module-solver statistics cannot provide.
+    cls._coop_matrix_stats = matrix_stats
     return cls
 
 
@@ -489,6 +500,12 @@ class ExplorationResult:
     #: engine is given a shape function — the fuzzing campaign's
     #: scheduler-state-shape coverage axis).
     state_shapes: Optional[List[int]] = field(default=None, repr=False)
+    #: Flight-recorder payloads, populated only inside an observability
+    #: session: per-shard raw trace event lists (one inner list per shard)
+    #: and the merged counter snapshot.  Deliberately excluded from
+    #: ``to_dict`` — the JSON artifact surface is unchanged.
+    trace_shards: Optional[List[list]] = field(default=None, repr=False)
+    metrics_snapshot: Optional[Dict[str, int]] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -615,18 +632,23 @@ def _explore_sampling(monitor, coop_class, programs, outcome: ExplorationResult,
     # (coverage export), walks additionally fingerprint every grant decision
     # so sampling campaigns report the states they visited.
     expected_decisions = max(8, 2 * sum(len(program) for program in programs))
+    tracer = obs.tracer()
     for iteration in range(budget):
         walk_seed = seed + iteration
-        strategy = make_strategy(outcome.strategy, walk_seed,
-                                 expected_decisions=expected_decisions)
-        instance = coop_class()
-        run = run_schedule(instance, programs, strategy, max_steps,
-                           fingerprints=seen is not None)
-        if seen is not None:
-            for decision in run.decisions:
-                if decision.fingerprint is not None:
-                    seen.add(decision.fingerprint)
-        verdict = oracle.judge(run, instance)
+        # Spans are keyed by the *global* walk seed, not the loop index, so a
+        # sharded campaign emits the same event args as a sequential one.
+        with tracer.span("schedule", cat="explore", seed=walk_seed) as span:
+            strategy = make_strategy(outcome.strategy, walk_seed,
+                                     expected_decisions=expected_decisions)
+            instance = coop_class()
+            run = run_schedule(instance, programs, strategy, max_steps,
+                               fingerprints=seen is not None)
+            if seen is not None:
+                for decision in run.decisions:
+                    if decision.fingerprint is not None:
+                        seen.add(decision.fingerprint)
+            verdict = oracle.judge(run, instance)
+            span.set(outcome=run.outcome, ok=verdict.ok, kind=verdict.kind or "")
         _tally(outcome, run, verdict)
         if verdict.is_failure:
             _record_failure(outcome, monitor, coop_class, programs, run, verdict,
@@ -644,13 +666,16 @@ def _explore_dfs_plain(monitor, coop_class, programs, outcome: ExplorationResult
     stack: List[Tuple[int, ...]] = (
         [tuple(prefix) for prefix in reversed(dfs_prefixes)]
         if dfs_prefixes else [()])
+    tracer = obs.tracer()
     while stack and outcome.schedules_run < budget:
         prefix = stack.pop()
         strategy = ScheduleStrategy(prefix, FirstStrategy())
         instance = coop_class()
-        run = run_schedule(instance, programs, strategy, max_steps,
-                           fingerprints=True, fingerprint_after=len(prefix))
-        verdict = oracle.judge(run, instance)
+        with tracer.span("schedule", cat="explore", depth=len(prefix)) as span:
+            run = run_schedule(instance, programs, strategy, max_steps,
+                               fingerprints=True, fingerprint_after=len(prefix))
+            verdict = oracle.judge(run, instance)
+            span.set(outcome=run.outcome, ok=verdict.ok, kind=verdict.kind or "")
         _tally(outcome, run, verdict)
         # Decisions at positions < len(prefix) replay ancestor choices whose
         # alternatives the ancestors already pushed; fresh positions start at
@@ -667,6 +692,9 @@ def _explore_dfs_plain(monitor, coop_class, programs, outcome: ExplorationResult
             if fingerprint in seen:
                 limit = position
                 outcome.pruned += 1
+                if tracer.enabled:
+                    tracer.instant("prune", cat="explore", provenance="visited")
+                    obs.registry().inc("explore.skipped.visited")
                 break
             seen.add(fingerprint)
         choices = run.choices
@@ -756,6 +784,7 @@ def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
     decisions = run.decisions
     sleeps = strategy.fresh_sleeps
     choices = run.choices
+    tracer = obs.tracer()
     entries: List[Tuple[Tuple[int, ...], frozenset]] = []
     for offset, position in enumerate(range(len(prefix), len(decisions))):
         decision = decisions[position]
@@ -774,6 +803,9 @@ def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
                 if sym:
                     if sym[alternative] in explored_classes:
                         outcome.symmetry_skipped += 1
+                        if tracer.enabled:
+                            tracer.instant("prune", cat="explore",
+                                           provenance="symmetry")
                         continue
                     explored_classes.add(sym[alternative])
                 entries.append((child_prefix + (alternative,), node_sleep))
@@ -795,13 +827,24 @@ def _expand_dpor(run: RunResult, prefix: Tuple[int, ...],
                 # Sleep set: an ancestor's sibling already explores every
                 # trace that starts by running this thread here.
                 outcome.por_skipped += 1
+                if tracer.enabled:
+                    tracer.instant("prune", cat="explore",
+                                   provenance="sleep_set")
+                    obs.registry().inc("explore.skipped.sleep_set")
                 continue
             if sym and sym[alternative] in explored_classes:
                 outcome.symmetry_skipped += 1
+                if tracer.enabled:
+                    tracer.instant("prune", cat="explore",
+                                   provenance="symmetry")
                 continue
             if _commutes_past(run, decision, alternative, independence, refiner,
                               values, programs):
                 outcome.por_skipped += 1
+                if tracer.enabled:
+                    tracer.instant("prune", cat="explore",
+                                   provenance="backtrack")
+                    obs.registry().inc("explore.skipped.backtrack")
                 continue
             entries.append((child_prefix + (alternative,), frozenset(cumulative)))
             cumulative.add((tid, method,
@@ -862,13 +905,19 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
         [(tuple(prefix), frozenset()) for prefix in reversed(dfs_prefixes)]
         if dfs_prefixes else [((), frozenset())])
 
+    # When a run aborts as "merged", provenance records whether the covering
+    # probe hit this shard's own visited set or a sibling's published states.
+    probe_source = ["merge"]
+
     def probe(fingerprint: tuple) -> bool:
         if fingerprint in seen:
+            probe_source[0] = "merge"
             return True
         if shared_store is not None and shared_store.probe(_stable_hash(fingerprint)):
             # Another shard already explored this state's subtree.
             outcome.shared_hits += 1
             seen.add(fingerprint)
+            probe_source[0] = "shared_store"
             return True
         seen.add(fingerprint)
         return False
@@ -877,6 +926,7 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
     # count, but cap total work anyway so a pathological class cannot spin.
     work_cap = 60 * budget
     stopped = False
+    tracer = obs.tracer()
     while stack and outcome.schedules_run < budget and not stopped:
         if outcome.pruned + outcome.por_skipped >= work_cap:
             break
@@ -888,12 +938,25 @@ def _explore_dpor(monitor, coop_class, programs, outcome: ExplorationResult,
                            merge_probe=probe, symmetry=symmetry)
         if run.outcome == "merged":
             outcome.pruned += 1
+            if tracer.enabled:
+                tracer.instant("prune", cat="explore",
+                               provenance=probe_source[0])
+                if probe_source[0] == "shared_store":
+                    obs.registry().inc("explore.skipped.shared_store")
             verdict = oracle.judge_partial(run)
         elif run.outcome == "sleep-set":
             outcome.por_skipped += 1
+            if tracer.enabled:
+                tracer.instant("prune", cat="explore",
+                               provenance="sleep_set")
+                obs.registry().inc("explore.skipped.sleep_set")
             verdict = oracle.judge_partial(run)
         else:
-            verdict = oracle.judge(run, instance)
+            with tracer.span("schedule", cat="explore",
+                             depth=len(prefix)) as span:
+                verdict = oracle.judge(run, instance)
+                span.set(outcome=run.outcome, ok=verdict.ok,
+                         kind=verdict.kind or "")
             _tally(outcome, run, verdict)
         _expand_dpor(run, prefix, strategy, stack, independence, outcome,
                      refiner, values, programs)
@@ -987,6 +1050,12 @@ def explore_class(monitor: Monitor, coop_class: type, programs,
     if state_shape is not None:
         outcome.state_shapes = sorted({_stable_hash(state_shape(fp))
                                        for fp in seen})
+    # Single fold point: result counters land in the registry once per
+    # exploration, and only inside an observability session (parallel shards
+    # each fold into their own session registry; the driver merges snapshots,
+    # so nothing is ever counted twice).
+    if obs.tracer().enabled:
+        obs.record_exploration(outcome, obs.registry())
     return outcome
 
 

@@ -44,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.codegen.python_gen import generate_python_explicit, materialize_class
 from repro.explore.engine import (
     Counterexample,
@@ -171,18 +172,30 @@ def _run_shard(job: dict) -> ExplorationResult:
     shared_states = job.get("shared_states")
     shared_store = (SharedStateStore(shared_states)
                     if shared_states is not None else None)
-    return explore_class(
-        job["monitor"], coop_class, job["programs"],
-        strategy=job["strategy"], budget=job["budget"], seed=job["seed"],
-        max_steps=job["max_steps"], stop_on_failure=job["stop_on_failure"],
-        minimize=job["minimize"], benchmark=job["benchmark"],
-        discipline=job["discipline"], por=job["por"],
-        semantic=job.get("semantic_por", True),
-        symmetry=job.get("symmetry", True),
-        dfs_prefixes=job.get("dfs_prefixes"),
-        export_state_hashes=job["strategy"] == "dfs",
-        shared_store=shared_store,
-        witness=job.get("witness", False))
+
+    def explore() -> ExplorationResult:
+        return explore_class(
+            job["monitor"], coop_class, job["programs"],
+            strategy=job["strategy"], budget=job["budget"], seed=job["seed"],
+            max_steps=job["max_steps"], stop_on_failure=job["stop_on_failure"],
+            minimize=job["minimize"], benchmark=job["benchmark"],
+            discipline=job["discipline"], por=job["por"],
+            semantic=job.get("semantic_por", True),
+            symmetry=job.get("symmetry", True),
+            dfs_prefixes=job.get("dfs_prefixes"),
+            export_state_hashes=job["strategy"] == "dfs",
+            shared_store=shared_store,
+            witness=job.get("witness", False))
+
+    if not job.get("trace"):
+        return explore()
+    # Traced shard: record into a worker-local session and ship the raw
+    # events + counter snapshot home; the driver merges them in shard order.
+    with obs.observe(trace=True) as session:
+        result = explore()
+    result.trace_shards = [session.tracer.events]
+    result.metrics_snapshot = session.registry.snapshot()
+    return result
 
 
 def _run_mutant(job: dict) -> dict:
@@ -270,6 +283,19 @@ def merge_results(shards: Sequence[ExplorationResult], strategy: str,
             key=lambda failure: failure.seed if failure.seed is not None else 0)
     merged.failures = failures
     merged.elapsed_seconds = elapsed
+    # Flight-recorder payloads: shard event lists are concatenated in shard
+    # (= job) order — for sampling strategies that is exactly the sequential
+    # walk order, so the deterministic trace export is worker-count-stable.
+    # Counter snapshots are summed into one registry; each shard folded its
+    # own result exactly once, so the merge never double-counts.
+    if any(shard.trace_shards for shard in shards):
+        merged.trace_shards = [events for shard in shards
+                               for events in (shard.trace_shards or [])]
+        registry = obs.MetricsRegistry()
+        for shard in shards:
+            if shard.metrics_snapshot:
+                registry.merge(shard.metrics_snapshot)
+        merged.metrics_snapshot = registry.snapshot()
     return merged
 
 
@@ -308,7 +334,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                            benchmark: str = "?", discipline: str = "?",
                            por: bool = True, semantic: bool = True,
                            symmetry: bool = True, share_states: bool = True,
-                           witness: bool = False,
+                           witness: bool = False, trace: bool = False,
                            workers: Optional[int] = None) -> ExplorationResult:
     """`explore_class`, sharded over a process pool.
 
@@ -317,7 +343,10 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
     engine-built classes do) so workers can rebuild it without recompiling.
     ``share_states`` (DFS only) links the shards' merge probes through one
     :class:`SharedStateStore`, so overlap explored by one shard is pruned —
-    not re-judged — by the others.
+    not re-judged — by the others.  ``trace`` records every shard into a
+    flight-recorder session and attaches ``trace_shards`` /
+    ``metrics_snapshot`` to the merged result (also on the sequential
+    fallback, so callers read one surface regardless of worker count).
     """
     workers = workers or default_workers()
     source = getattr(coop_class, "_coop_source", None)
@@ -326,8 +355,20 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         stop_on_failure=stop_on_failure, minimize=minimize,
         benchmark=benchmark, discipline=discipline, por=por,
         semantic=semantic, symmetry=symmetry, witness=witness)
+
+    def sequential() -> ExplorationResult:
+        if not trace:
+            return explore_class(monitor, coop_class, programs,
+                                 **sequential_kwargs)
+        with obs.observe(trace=True) as session:
+            result = explore_class(monitor, coop_class, programs,
+                                   **sequential_kwargs)
+        result.trace_shards = [session.tracer.events]
+        result.metrics_snapshot = session.registry.snapshot()
+        return result
+
     if workers <= 1 or source is None:
-        return explore_class(monitor, coop_class, programs, **sequential_kwargs)
+        return sequential()
     # Explicit coop sources embed footprints/matrix as class-attribute
     # literals — rebuilding from source restores them, so ship them only
     # for classes whose source does not (autosynch/implicit runtimes).
@@ -352,6 +393,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         "semantic_por": semantic,
         "symmetry": symmetry,
         "witness": witness,
+        "trace": trace,
     }
     manager = None
     jobs: List[dict] = []
@@ -359,8 +401,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         if strategy == "dfs":
             roots = _dfs_root_prefixes(coop_class, programs, max_steps)
             if len(roots) < 2:
-                return explore_class(monitor, coop_class, programs,
-                                     **sequential_kwargs)
+                return sequential()
             shared_states = None
             if share_states and por:
                 manager = multiprocessing.Manager()

@@ -46,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.explore.strategies import AbortRun, Strategy
+from repro.explore.strategies import AbortRun, Strategy, _session_registry
 
 #: One thread's program: a list of ``(method name, positional args)`` pairs.
 ThreadProgram = Sequence[Tuple[str, tuple]]
@@ -215,6 +215,11 @@ class CoopScheduler:
         # scheduler, so states that differ only by the transposition root
         # isomorphic subtrees and may share one fingerprint.
         self._sym_groups: List[List[int]] = []
+        #: Bound only inside an observability session: state-fingerprint and
+        #: frame-cache counters land under ``explore.scheduler.*``.  These
+        #: counts are per-run deterministic but shard-dependent under DFS
+        #: sharding, so they stay out of the exploration-result surface.
+        self._metrics = _session_registry()
         #: Per-(tid, op_index) remaining-program keys, filled lazily —
         #: programs are fixed, so the suffix key never changes and the hot
         #: decision loop must not rebuild it per candidate per decision.
@@ -415,6 +420,10 @@ class CoopScheduler:
         if fingerprint is None:
             fingerprint = _frame_fingerprint(thread.frame)
             self._frame_cache[thread.tid] = fingerprint
+            if self._metrics is not None:
+                self._metrics.inc("explore.scheduler.frame_walks")
+        elif self._metrics is not None:
+            self._metrics.inc("explore.scheduler.frame_cache_hits")
         return fingerprint
 
     def _wake(self, waker: _VirtualThread, key: str, broadcast: bool) -> None:
@@ -468,6 +477,8 @@ class CoopScheduler:
         only when the thread's frame actually advances, so between two grant
         decisions just one thread's frame is re-walked.
         """
+        if self._metrics is not None:
+            self._metrics.inc("explore.scheduler.fingerprints")
         shared = tuple(sorted(
             (name, _freeze(value))
             for name, value in vars(self.instance).items()

@@ -35,6 +35,18 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
 
+from repro import obs
+
+
+def _session_registry():
+    """The active registry, or None outside an observability session.
+
+    Strategies sit on the scheduler's hot path; resolving the registry once
+    at construction (and only when a session is open) keeps the common
+    untraced case at zero instrumentation cost.
+    """
+    return obs.registry() if obs.tracer().enabled else None
+
 
 class AbortRun(Exception):
     """Raised by a strategy to cut a run short (sleep-set redundancy).
@@ -89,6 +101,7 @@ class PCTStrategy:
         self._rng = random.Random(seed)
         self._priorities: Dict[int, float] = {}
         self._decisions = 0
+        self._metrics = _session_registry()
         # _decisions is incremented before the membership test, so the first
         # testable value is 1; draw from [1, expected] to keep every change
         # point reachable.
@@ -107,6 +120,8 @@ class PCTStrategy:
             # Demote the thread that was about to run below everyone else.
             self._priorities[best] = self._rng.random() - 2.0
             best = max(candidates, key=lambda tid: self._priorities[tid])
+            if self._metrics is not None:
+                self._metrics.inc("explore.strategy.pct_demotions")
         return candidates.index(best)
 
 
@@ -303,6 +318,7 @@ class DporStrategy:
         self._pending_segment: Optional[Tuple[str, tuple]] = None
         #: Sleep set snapshot per recorded decision index >= len(prefix).
         self.fresh_sleeps: List[FrozenSet[SleepEntry]] = []
+        self._metrics = _session_registry()
 
     def choose(self, kind: str, candidates: Tuple[int, ...]) -> int:
         self._flush_segment()
@@ -347,11 +363,15 @@ class DporStrategy:
         method, args = pending
         independent = self.independence.independent
         checker = self.checker
-        self.sleep = {
+        kept = {
             entry for entry in self.sleep
             if independent(entry[1], method)
             or (checker is not None and checker(entry, method, args, wait_key))
         }
+        if self._metrics is not None and len(kept) != len(self.sleep):
+            self._metrics.inc("explore.strategy.sleep_wakeups",
+                              len(self.sleep) - len(kept))
+        self.sleep = kept
 
 
 def make_strategy(name: str, seed: int, depth: int = 3,

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.explore.parallel import map_jobs
 from repro.fuzz.corpus import CorpusEntry, CorpusStore, entry_from_generated
 from repro.fuzz.coverage import CoverageMap, coverage_fingerprint, run_features
@@ -53,6 +54,7 @@ class FuzzConfig:
     workers: int = 1
     strategy: str = "dfs"
     max_steps: int = 20_000
+    trace: bool = False           # flight recorder: per-candidate shard traces
 
 
 @dataclass
@@ -77,6 +79,10 @@ class FuzzCampaignResult:
     compile_errors: List[dict] = field(default_factory=list)
     operator_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Flight-recorder payloads (driver shard first, then candidate shards in
+    #: batch-slot order) — excluded from :meth:`to_dict` like all timing.
+    trace_shards: Optional[List[list]] = field(default=None, repr=False)
+    metrics_snapshot: Optional[Dict[str, int]] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -136,7 +142,27 @@ def _worker_pipeline():
 
 
 def _evaluate_candidate(job: dict) -> dict:
-    """Compile + explore one candidate and extract its coverage (pool job)."""
+    """Compile + explore one candidate and extract its coverage (pool job).
+
+    Traced jobs run inside their own observability session (sessions nest by
+    save/restore, so the in-process ``workers=1`` path behaves exactly like a
+    pool worker) and ship the raw events + counter snapshot home with the
+    outcome; the driver merges them in batch-slot order.
+    """
+    if not job.get("trace"):
+        return _evaluate_candidate_inner(job)
+    with obs.observe(trace=True) as session:
+        with session.tracer.span("fuzz.candidate", cat="fuzz",
+                                 entry=job["entry_id"]) as span:
+            outcome = _evaluate_candidate_inner(job)
+            span.set(ok=outcome.get("ok", False),
+                     error="error" in outcome)
+    outcome["trace_events"] = session.tracer.events
+    outcome["metrics"] = session.registry.snapshot()
+    return outcome
+
+
+def _evaluate_candidate_inner(job: dict) -> dict:
     from repro.explore.engine import coop_class_for_explicit, explore_class
     from repro.fuzz.coverage import state_shape
 
@@ -246,12 +272,23 @@ def _entry_job(entry: CorpusEntry, config: FuzzConfig) -> dict:
         "budget": config.per_run_budget,
         "max_steps": config.max_steps,
         "explore_seed": derive_seed(config.seed, entry.entry_id) % (2 ** 31),
+        "trace": config.trace,
     }
 
 
 def run_campaign(config: FuzzConfig,
                  store: Optional[CorpusStore] = None) -> FuzzCampaignResult:
     """Run one deterministic coverage-guided campaign invocation."""
+    if config.trace and not obs.tracer().enabled:
+        # Open the flight recorder once and re-enter: the driver's own spans
+        # and power-schedule counters land in this session, each candidate's
+        # events arrive as worker shards on the outcome dicts.
+        with obs.observe(trace=True) as session:
+            result = run_campaign(config, store)
+        result.trace_shards = ([session.tracer.events]
+                               + (result.trace_shards or []))
+        result.metrics_snapshot = session.registry.snapshot()
+        return result
     store = store or CorpusStore(None)
     start = time.perf_counter()
     entries = store.load_entries()
@@ -270,12 +307,23 @@ def run_campaign(config: FuzzConfig,
     result = FuzzCampaignResult(seed=config.seed, budget=config.budget,
                                 workers=config.workers,
                                 strategy=config.strategy)
+    tracer = obs.tracer()
+    metrics = obs.registry() if tracer.enabled else None
+    worker_shards: List[list] = []
 
     def operator_stat(name: str) -> Dict[str, int]:
         return result.operator_stats.setdefault(
             name, {"applied": 0, "rejected": 0, "new_coverage": 0, "findings": 0})
 
     def merge_outcome(outcome: dict, entry: CorpusEntry, op_name: Optional[str]) -> None:
+        if metrics is not None:
+            events = outcome.pop("trace_events", None)
+            if events:
+                worker_shards.append(events)
+            worker_metrics = outcome.pop("metrics", None)
+            if worker_metrics:
+                metrics.merge(worker_metrics)
+            metrics.inc("fuzz.candidates")
         result.monitors += 1
         result.schedules_run += outcome.get("schedules_run", 0)
         if "error" in outcome:
@@ -331,8 +379,10 @@ def run_campaign(config: FuzzConfig,
             continue
         boot_jobs.append((entry, _entry_job(entry, config)))
     if boot_jobs and budget_left():
-        outcomes = map_jobs(_evaluate_candidate,
-                            [job for _entry, job in boot_jobs], config.workers)
+        with tracer.span("fuzz.bootstrap", cat="fuzz", batch=len(boot_jobs)):
+            outcomes = map_jobs(_evaluate_candidate,
+                                [job for _entry, job in boot_jobs],
+                                config.workers)
         for (entry, _job), outcome in zip(boot_jobs, outcomes):
             # Bootstrap roots always join the corpus (dedup still applies to
             # their fingerprints for later mutants); they are the search's
@@ -354,6 +404,8 @@ def run_campaign(config: FuzzConfig,
             if parent is None:
                 break
             parent.picks += 1
+            if metrics is not None:
+                metrics.inc("fuzz.power.picks")
             candidate = None
             used_op = None
             mate_entry = None
@@ -380,6 +432,8 @@ def run_campaign(config: FuzzConfig,
                 entry.entry_id = f"gen-fresh-{config.seed}-{round_index}-{slot}"
                 entry.threads, entry.ops = config.threads, config.ops
                 operator_stat("fresh-generation")["applied"] += 1
+                if metrics is not None:
+                    metrics.inc("fuzz.power.fresh")
             else:
                 entry = CorpusEntry(
                     entry_id=f"mut-{config.seed}-{round_index}-{slot}",
@@ -396,8 +450,10 @@ def run_campaign(config: FuzzConfig,
             round_index += 1
             rounds_this_run += 1
             continue
-        outcomes = map_jobs(_evaluate_candidate,
-                            [job for _e, _op, job in batch], config.workers)
+        with tracer.span("fuzz.round", cat="fuzz", round=round_index,
+                         batch=len(batch)):
+            outcomes = map_jobs(_evaluate_candidate,
+                                [job for _e, _op, job in batch], config.workers)
         for (entry, op_name, _job), outcome in zip(batch, outcomes):
             merge_outcome(outcome, entry, op_name or "fresh-generation")
         round_index += 1
@@ -414,6 +470,12 @@ def run_campaign(config: FuzzConfig,
                             tuple(record.get("minimized", ()))))
     result.findings = ordered_findings
     result.elapsed_seconds = time.perf_counter() - start
+    if metrics is not None:
+        for name, stats in sorted(result.operator_stats.items()):
+            for key, value in sorted(stats.items()):
+                if value:
+                    metrics.inc(f"fuzz.operator.{name}.{key}", value)
+        result.trace_shards = worker_shards
     store.save_state(coverage.to_dict(), ordered_findings, {
         "seed": config.seed,
         "rounds_completed": round_index,

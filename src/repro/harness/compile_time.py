@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.benchmarks_lib.registry import ALL_BENCHMARKS
 from repro.benchmarks_lib.spec import BenchmarkSpec
@@ -41,6 +41,8 @@ class CompileTimeRow:
     commute_cache_hits: int = 0
     commute_cache_misses: int = 0
     commute_static_skips: int = 0
+    #: Per-phase wall breakdown (parse/invariants/placement/instrument/lint).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -68,6 +70,8 @@ def _compile_row(spec: BenchmarkSpec, use_commutativity: bool) -> CompileTimeRow
         commute_cache_hits=result.solver_statistics.get("commute_cache_hits", 0),
         commute_cache_misses=result.solver_statistics.get("commute_cache_misses", 0),
         commute_static_skips=result.solver_statistics.get("commute_static_skips", 0),
+        phase_seconds={phase: round(seconds, 4)
+                       for phase, seconds in result.phase_seconds.items()},
     )
 
 

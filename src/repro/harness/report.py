@@ -242,6 +242,65 @@ def render_lint_table(reports: Sequence) -> str:
     return "\n".join(lines)
 
 
+def render_profile_table(profiler, phases: Optional[Dict[str, dict]] = None,
+                         wall_seconds: Optional[float] = None,
+                         top: int = 10) -> str:
+    """Render an SMT-profiler session as a text report.
+
+    Accepts a :class:`repro.obs.profile.SmtProfiler` (typed loosely to keep
+    the harness importable without the obs subsystem).  *phases* is the
+    per-span attribution from :func:`repro.obs.phase_attribution`; with
+    *wall_seconds* the header additionally reports what fraction of the
+    measured wall time the named spans account for.
+    """
+    header = "SMT query profile (expresso profile)"
+    lines = [header, "-" * len(header)]
+    summary = (f"{profiler.total_queries} queries, "
+               f"{profiler.total_seconds:.3f}s in the solver")
+    if wall_seconds:
+        summary += f" / {wall_seconds:.3f}s wall"
+    lines.append(summary)
+    if phases:
+        lines.append("")
+        lines.append("Phase".ljust(26) + "Count".ljust(8)
+                     + "Seconds".ljust(10) + "Self")
+        attributed = 0.0
+        for name in sorted(phases, key=lambda n: -phases[n]["self_seconds"]):
+            row = phases[name]
+            attributed += row["self_seconds"]
+            lines.append(name.ljust(26)
+                         + str(row["count"]).ljust(8)
+                         + f"{row['seconds']:.3f}".ljust(10)
+                         + f"{row['self_seconds']:.3f}")
+        if wall_seconds:
+            lines.append(f"attributed: {attributed:.3f}s "
+                         f"({attributed / wall_seconds:.0%} of wall)")
+    rows = profiler.top(top)
+    if rows:
+        lines.append("")
+        phase_width = max([22] + [len(str(row["phase"])) + 2 for row in rows])
+        lines.append("Hash".ljust(14) + "Count".ljust(7) + "Cached".ljust(8)
+                     + "Seconds".ljust(10) + "Status".ljust(9)
+                     + "Phase".ljust(phase_width) + "Caller")
+        for row in rows:
+            lines.append(str(row["fingerprint"]).ljust(14)
+                         + str(row["count"]).ljust(7)
+                         + str(row["cached"]).ljust(8)
+                         + f"{row['seconds']:.3f}".ljust(10)
+                         + str(row["status"]).ljust(9)
+                         + str(row["phase"]).ljust(phase_width)
+                         + str(row["caller"]))
+            lines.append("  " + str(row["sample"]))
+    lines.append("-" * len(header))
+    callers = profiler.by_caller()
+    hottest = sorted(callers.items(),
+                     key=lambda item: -item[1]["seconds"])[:5]
+    lines.append("hot callers: "
+                 + ("  ".join(f"{name} ({agg['seconds']:.3f}s/{int(agg['count'])})"
+                              for name, agg in hottest) or "(none)"))
+    return "\n".join(lines)
+
+
 def speedup_summary(all_series: Iterable[FigureSeries]) -> Dict[str, float]:
     """The headline aggregates: mean speedups of Expresso over each baseline."""
     per_baseline: Dict[str, List[float]] = {}

@@ -1,0 +1,152 @@
+"""Observability: the flight recorder for the whole pipeline.
+
+One import point for the three instruments:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — the unified counter
+  registry (``smt.validity.queries``, ``explore.skipped.sleep_set``, ...);
+* :class:`~repro.obs.trace.Tracer` — structured spans/instants exported as
+  Chrome-trace-event JSON (Perfetto-loadable), deterministic by default;
+* :class:`~repro.obs.profile.SmtProfiler` — per-query solver time by
+  phase, caller site, and structural formula hash.
+
+Instrumented code never constructs these directly; it asks this module for
+the *active* session::
+
+    from repro import obs
+
+    tracer = obs.tracer()           # NULL_TRACER unless a session is open
+    with tracer.span("compile.parse"):
+        ...
+
+and drivers open a session around a run::
+
+    with obs.observe(trace=True, profile=True) as session:
+        pipeline.compile(monitor)
+    write_trace(path, [session.tracer.events], session.registry.snapshot())
+
+With no session open every hook is a no-op costing one attribute check —
+the exploration hot loop stays within the benchmarked budget.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Union
+
+from repro.obs.metrics import (
+    LegacyStatsView,
+    MetricsRegistry,
+    SOLVER_METRIC_NAMES,
+)
+from repro.obs.profile import SmtProfiler, formula_fingerprint
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_events,
+    phase_attribution,
+    trace_document,
+    write_trace,
+)
+
+__all__ = [
+    "LegacyStatsView",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsSession",
+    "SOLVER_METRIC_NAMES",
+    "SmtProfiler",
+    "Tracer",
+    "active_profiler",
+    "chrome_events",
+    "formula_fingerprint",
+    "observe",
+    "phase_attribution",
+    "registry",
+    "trace_document",
+    "tracer",
+    "write_trace",
+]
+
+
+@dataclass
+class ObsSession:
+    """The instruments active inside one :func:`observe` block."""
+
+    tracer: Union[Tracer, NullTracer]
+    registry: MetricsRegistry
+    profiler: Optional[SmtProfiler]
+
+
+_TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+_REGISTRY: MetricsRegistry = MetricsRegistry()
+_PROFILER: Optional[SmtProfiler] = None
+
+
+def tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer (the shared no-op tracer outside a session)."""
+    return _TRACER
+
+
+def registry() -> MetricsRegistry:
+    """The active session's registry (a process-wide one outside sessions)."""
+    return _REGISTRY
+
+
+def active_profiler() -> Optional[SmtProfiler]:
+    """The active SMT profiler, or None (the common, zero-cost case)."""
+    return _PROFILER
+
+
+@contextmanager
+def observe(trace: bool = False, profile: bool = False,
+            metrics: Optional[MetricsRegistry] = None) -> Iterator[ObsSession]:
+    """Open an observability session: install a tracer/profiler/registry.
+
+    Sessions nest by save/restore, so a traced exploration inside a traced
+    campaign keeps the inner instruments for the inner run only.
+    """
+    global _TRACER, _REGISTRY, _PROFILER
+    session = ObsSession(
+        tracer=Tracer() if trace else NULL_TRACER,
+        registry=metrics if metrics is not None else MetricsRegistry(),
+        profiler=SmtProfiler() if profile else None,
+    )
+    saved = (_TRACER, _REGISTRY, _PROFILER)
+    _TRACER, _REGISTRY, _PROFILER = (
+        session.tracer, session.registry, session.profiler)
+    try:
+        yield session
+    finally:
+        _TRACER, _REGISTRY, _PROFILER = saved
+
+
+# ---------------------------------------------------------------------------
+# Cross-surface folds
+# ---------------------------------------------------------------------------
+
+#: ExplorationResult fields → registry counter names.  Deliberately excludes
+#: timing (``elapsed_seconds``) and worker-count-dependent counters
+#: (``shared_hits``, oracle cache hits/misses), so the folded snapshot is
+#: byte-stable across ``--workers`` settings for deterministic strategies.
+EXPLORATION_METRIC_NAMES: Dict[str, str] = {
+    "schedules_run": "explore.schedules.judged",
+    "completed": "explore.schedules.completed",
+    "stalls": "explore.schedules.stalls",
+    "pruned": "explore.skipped.merge",
+    "por_skipped": "explore.skipped.por",
+    "symmetry_skipped": "explore.skipped.symmetry",
+    "distinct_states": "explore.states.distinct",
+}
+
+
+def record_exploration(result: object,
+                       into: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Fold an ExplorationResult's counters into a registry."""
+    target = into if into is not None else registry()
+    for field_name, metric in EXPLORATION_METRIC_NAMES.items():
+        target.inc(metric, int(getattr(result, field_name, 0) or 0))
+    target.inc("explore.failures", len(getattr(result, "failures", ()) or ()))
+    return target

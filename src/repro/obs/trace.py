@@ -1,0 +1,242 @@
+"""The span tracer: structured flight-recorder events, Chrome-trace export.
+
+A :class:`Tracer` records begin/end/instant events with wall-clock offsets
+(``time.perf_counter`` relative to the tracer's first event).  The recorded
+stream serves two consumers:
+
+* **profiling** — :func:`phase_attribution` folds the real durations into
+  per-phase inclusive/exclusive seconds (the ``expresso profile`` report);
+* **artifacts** — :func:`trace_document` renders Chrome-trace-event JSON
+  (the object format, loadable in Perfetto / ``chrome://tracing``).  By
+  default the export is **deterministic**: wall-clock fields are stripped
+  and ``ts`` is the event's global sequence number, so two runs over the
+  same inputs produce byte-identical files regardless of machine speed,
+  worker count, or scheduling jitter.  Pass ``deterministic=False`` to keep
+  microsecond timestamps for interactive profiling sessions.
+
+The disabled path is near-zero-cost: the module-level :data:`NULL_TRACER`
+answers ``enabled == False`` and hands out one shared no-op span, so hot
+loops pay a single attribute check per schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+RawEvent = Dict[str, object]
+
+
+class _Span:
+    """Context manager for one B/E span pair.
+
+    Args passed at construction land on the begin event; anything set later
+    via :meth:`set` lands on the end event (Perfetto merges both).
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def set(self, **updates: object) -> None:
+        """Tag the span (recorded on its end event)."""
+        self.args.update(updates)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._emit("B", self.name, self.cat, dict(self.args))
+        self._tracer._stack.append(self.name)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._tracer._stack.pop()
+        self._tracer._emit("E", self.name, self.cat, dict(self.args))
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def set(self, **updates: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records raw trace events in memory (one tracer per observed run)."""
+
+    enabled = True
+
+    __slots__ = ("events", "_stack", "_t0")
+
+    def __init__(self) -> None:
+        self.events: List[RawEvent] = []
+        self._stack: List[str] = []
+        self._t0: Optional[float] = None
+
+    def _now(self) -> float:
+        now = time.perf_counter()
+        if self._t0 is None:
+            self._t0 = now
+        return now - self._t0
+
+    def _emit(self, ph: str, name: str, cat: str,
+              args: Dict[str, object]) -> None:
+        self.events.append(
+            {"ph": ph, "name": name, "cat": cat, "args": args, "t": self._now()}
+        )
+
+    def span(self, name: str, cat: str = "compile", **args: object) -> _Span:
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "explore", **args: object) -> None:
+        self._emit("i", name, cat, args)
+
+    def phase(self) -> str:
+        """Name of the innermost open span ('' outside any span)."""
+        return self._stack[-1] if self._stack else ""
+
+    def phase_path(self) -> str:
+        """Slash-joined open-span stack (profiler phase attribution key)."""
+        return "/".join(self._stack)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    events: Tuple[RawEvent, ...] = ()
+
+    def span(self, name: str, cat: str = "compile", **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "explore", **args: object) -> None:
+        pass
+
+    def phase(self) -> str:
+        return ""
+
+    def phase_path(self) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export
+# ---------------------------------------------------------------------------
+
+
+def chrome_events(shards: Sequence[Sequence[RawEvent]],
+                  deterministic: bool = True) -> List[Dict[str, object]]:
+    """Flatten per-shard raw event lists into Chrome trace events.
+
+    Shards are concatenated in the given (deterministic) order.  In
+    deterministic mode every event's ``ts`` is its global sequence number
+    and ``pid``/``tid`` are fixed at 0, so the output depends only on the
+    logical event stream; otherwise ``ts`` is the microsecond offset within
+    the shard and ``pid`` is the shard index.
+    """
+    out: List[Dict[str, object]] = []
+    seq = 0
+    for shard_index, events in enumerate(shards):
+        for event in events:
+            ts = seq if deterministic else round(float(event["t"]) * 1e6, 1)
+            out.append({
+                "name": event["name"],
+                "cat": event["cat"],
+                "ph": event["ph"],
+                "ts": ts,
+                "pid": 0 if deterministic else shard_index,
+                "tid": 0,
+                "args": event["args"],
+            })
+            seq += 1
+    return out
+
+
+def trace_document(shards: Sequence[Sequence[RawEvent]],
+                   metrics: Optional[Dict[str, int]] = None,
+                   deterministic: bool = True) -> Dict[str, object]:
+    """The Chrome-trace *object format* document for a run.
+
+    ``metrics`` (a counter snapshot) rides along under ``otherData`` so one
+    artifact carries both the event stream and the unified counters.
+    """
+    document: Dict[str, object] = {
+        "traceEvents": chrome_events(shards, deterministic=deterministic),
+        "displayTimeUnit": "ms",
+    }
+    other: Dict[str, object] = {"deterministic": deterministic}
+    if metrics is not None:
+        other["metrics"] = {name: metrics[name] for name in sorted(metrics)}
+    document["otherData"] = other
+    return document
+
+
+def write_trace(path: str, shards: Sequence[Sequence[RawEvent]],
+                metrics: Optional[Dict[str, int]] = None,
+                deterministic: bool = True) -> None:
+    """Serialize :func:`trace_document` byte-stably to *path*."""
+    document = trace_document(shards, metrics=metrics,
+                              deterministic=deterministic)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True,
+                  separators=(",", ":"), ensure_ascii=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Phase attribution (real durations, for the profiler report)
+# ---------------------------------------------------------------------------
+
+
+def phase_attribution(
+    events: Sequence[RawEvent],
+) -> Tuple[Dict[str, Dict[str, float]], float]:
+    """Fold one shard's raw events into per-phase timing.
+
+    Returns ``(phases, root_seconds)`` where ``phases`` maps span name to
+    ``{"count", "seconds", "self_seconds"}`` (inclusive and exclusive wall
+    time) and ``root_seconds`` is the summed duration of depth-0 spans —
+    the denominator for span coverage of total wall time.
+    """
+    phases: Dict[str, Dict[str, float]] = {}
+    stack: List[Tuple[str, float, float]] = []  # (name, start, child_seconds)
+    root_seconds = 0.0
+    for event in events:
+        ph = event["ph"]
+        if ph == "B":
+            stack.append((str(event["name"]), float(event["t"]), 0.0))
+        elif ph == "E" and stack:
+            name, start, child_seconds = stack.pop()
+            duration = float(event["t"]) - start
+            agg = phases.setdefault(
+                name, {"count": 0, "seconds": 0.0, "self_seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += duration
+            agg["self_seconds"] += max(duration - child_seconds, 0.0)
+            if stack:
+                parent, pstart, pchildren = stack[-1]
+                stack[-1] = (parent, pstart, pchildren + duration)
+            else:
+                root_seconds += duration
+    return phases, root_seconds

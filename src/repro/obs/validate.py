@@ -1,0 +1,117 @@
+"""Chrome-trace-event schema validation for emitted trace artifacts.
+
+``python -m repro.obs.validate TRACE.json [...]`` exits non-zero if any file
+fails the checks.  This is the PR-time CI smoke: it pins the contract that
+every trace the pipeline emits loads in Perfetto / ``chrome://tracing``.
+
+Checks (the object-format subset of the trace-event spec we emit):
+
+* top level is an object with a ``traceEvents`` array;
+* every event has ``name``/``cat`` strings, a known ``ph``, numeric ``ts``,
+  integer ``pid``/``tid``, and an object ``args``;
+* B/E events balance per (pid, tid) with matching names (LIFO nesting);
+* every ``prune``-named event carries exactly one ``provenance`` arg.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Phases this repo emits (a subset of the full trace-event alphabet).
+_KNOWN_PHASES = frozenset({"B", "E", "i", "X", "M", "C"})
+
+#: The prune-provenance vocabulary (exploration skip mechanisms).
+PROVENANCE_TAGS = frozenset({
+    "sleep_set", "backtrack", "symmetry", "merge", "shared_store", "visited",
+})
+
+
+def validate_trace(document: object) -> List[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["top level must be an object (Chrome object format)"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' array"]
+    stacks: Dict[Tuple[object, object], List[str]] = {}
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: 'name' must be a string")
+        if not isinstance(event.get("cat"), str):
+            errors.append(f"{where}: 'cat' must be a string")
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: 'ts' must be a number")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: '{key}' must be an integer")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            errors.append(f"{where}: 'args' must be an object")
+            args = {}
+        lane = (event.get("pid"), event.get("tid"))
+        stack = stacks.setdefault(lane, [])
+        if ph == "B":
+            stack.append(str(event.get("name")))
+        elif ph == "E":
+            if not stack:
+                errors.append(f"{where}: 'E' without matching 'B'")
+            elif stack[-1] != event.get("name"):
+                errors.append(f"{where}: 'E' for {event.get('name')!r} but "
+                              f"open span is {stack[-1]!r}")
+                stack.pop()
+            else:
+                stack.pop()
+        if str(event.get("name")) == "prune":
+            provenance = args.get("provenance")
+            if provenance not in PROVENANCE_TAGS:
+                errors.append(f"{where}: prune event provenance "
+                              f"{provenance!r} not in {sorted(PROVENANCE_TAGS)}")
+    for lane, stack in sorted(stacks.items(), key=repr):
+        if stack:
+            errors.append(f"lane {lane}: {len(stack)} unclosed span(s): "
+                          f"{stack[-1]!r}")
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot load {path}: {error}"]
+    return validate_trace(document)
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                count = len(json.load(handle).get("traceEvents", []))
+            print(f"{path}: ok ({count} events)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

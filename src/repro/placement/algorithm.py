@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.logic import build
 from repro.logic.free_vars import free_vars
 from repro.logic.terms import Expr
@@ -121,11 +122,19 @@ def place_signals(monitor: Monitor, invariant: Expr,
             commutativity_cache[ccr.label] = ccr_commutes_with_all(ccr, monitor, solver)
         return commutativity_cache[ccr.label]
 
+    tracer = obs.tracer()
     guards = monitor.guards()
     for method, ccr in monitor.ccrs():
         for predicate in guards:
-            decision = _decide(monitor, method, ccr, predicate, invariant, solver,
-                               use_commutativity, commutes)
+            with tracer.span("placement.decide", cat="placement",
+                             ccr=ccr.label,
+                             predicate=obs.formula_fingerprint(predicate)) as span:
+                decision = _decide(monitor, method, ccr, predicate, invariant,
+                                   solver, use_commutativity, commutes)
+                span.set(needs_notification=decision.needs_notification,
+                         conditional=decision.conditional,
+                         broadcast=decision.broadcast,
+                         used_commutativity=decision.used_commutativity)
             decisions.append(decision)
             notification = decision.to_notification()
             if notification is not None:

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.logic import build
 from repro.logic.pretty import pretty
 from repro.logic.terms import Expr
@@ -48,6 +49,10 @@ class ExpressoResult:
     elapsed_seconds: float
     solver_statistics: Dict[str, int]
     lint_report: Optional[LintReport] = None
+    #: Wall time per pipeline phase (parse/invariants/placement/instrument/
+    #: lint) — always recorded (two perf_counter reads per phase), so phase
+    #: attribution is available even without an observability session.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """A short human-readable report (used by the CLI and examples)."""
@@ -137,28 +142,62 @@ class ExpressoPipeline:
     def compile(self, source: Union[str, Monitor]) -> ExpressoResult:
         """Compile implicit-signal monitor source (or a parsed monitor)."""
         start = time.perf_counter()
+        tracer = obs.tracer()
         solver = self._solver
         if solver is None:
             cache = self._cache if self._cache is not None else FormulaCache()
             solver = Solver(cache=cache)
         stats_before = solver.snapshot_statistics()
-        monitor = source if isinstance(source, Monitor) else load_monitor(source)
+        phases: Dict[str, float] = {}
 
-        if self.infer_invariant:
-            theta = generate_placement_triples(monitor, build.TRUE)
-            invariant_details = infer_monitor_invariant(
-                monitor, theta, solver, extra_candidates=self.extra_invariant_candidates
-            )
-        else:
-            invariant_details = InvariantInferenceResult(
-                invariant=build.TRUE, kept_predicates=(), candidate_pool=(), iterations=0
-            )
-        invariant = invariant_details.invariant
+        with tracer.span("compile", cat="compile") as root:
+            mark = time.perf_counter()
+            with tracer.span("compile.parse", cat="compile"):
+                monitor = (source if isinstance(source, Monitor)
+                           else load_monitor(source))
+            phases["parse"] = time.perf_counter() - mark
+            root.set(monitor=monitor.name)
 
-        placement = place_signals(monitor, invariant, solver,
-                                  use_commutativity=self.use_commutativity)
-        explicit = instrument(monitor, placement)
-        lint_report = lint_explicit(explicit, solver=solver) if self.lint else None
+            mark = time.perf_counter()
+            with tracer.span("compile.invariants", cat="compile") as inv_span:
+                if self.infer_invariant:
+                    theta = generate_placement_triples(monitor, build.TRUE)
+                    invariant_details = infer_monitor_invariant(
+                        monitor, theta, solver,
+                        extra_candidates=self.extra_invariant_candidates
+                    )
+                else:
+                    invariant_details = InvariantInferenceResult(
+                        invariant=build.TRUE, kept_predicates=(),
+                        candidate_pool=(), iterations=0
+                    )
+                invariant = invariant_details.invariant
+                inv_span.set(invariant=obs.formula_fingerprint(invariant),
+                             iterations=invariant_details.iterations)
+            phases["invariants"] = time.perf_counter() - mark
+
+            mark = time.perf_counter()
+            with tracer.span("compile.placement", cat="compile") as place_span:
+                placement = place_signals(
+                    monitor, invariant, solver,
+                    use_commutativity=self.use_commutativity)
+                place_span.set(
+                    notifications=placement.total_notifications(),
+                    broadcasts=placement.broadcast_count())
+            phases["placement"] = time.perf_counter() - mark
+
+            mark = time.perf_counter()
+            with tracer.span("compile.instrument", cat="compile"):
+                explicit = instrument(monitor, placement)
+            phases["instrument"] = time.perf_counter() - mark
+
+            lint_report = None
+            if self.lint:
+                mark = time.perf_counter()
+                with tracer.span("compile.lint", cat="compile"):
+                    lint_report = lint_explicit(explicit, solver=solver)
+                phases["lint"] = time.perf_counter() - mark
+
         elapsed = time.perf_counter() - start
         # Shared solvers serve many compiles; report this compile's share only.
         stats_delta = {
@@ -174,6 +213,7 @@ class ExpressoPipeline:
             elapsed_seconds=elapsed,
             solver_statistics=stats_delta,
             lint_report=lint_report,
+            phase_seconds=phases,
         )
 
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional
 
 from repro.logic.terms import Expr
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -59,10 +60,15 @@ class CachedResult:
 class FormulaCache:
     """Two-level (raw + canonical) cache of satisfiability results."""
 
-    def __init__(self, max_entries: int = 100_000):
+    def __init__(self, max_entries: int = 100_000,
+                 metrics: Optional[MetricsRegistry] = None):
         self.max_entries = max_entries
         self._raw: Dict[Expr, CachedResult] = {}
         self._canonical: Dict[Expr, CachedResult] = {}
+        #: Optional registry mirror: when bound, every hit/miss also lands
+        #: under ``smt.formula_cache.*`` so the flight recorder sees shared
+        #: (cross-solver) caches that per-solver counters cannot attribute.
+        self.metrics = metrics
         self.hits = 0
         self.misses = 0
         # Commutativity verdicts (`bodies_commute` and the exploration-side
@@ -76,11 +82,17 @@ class FormulaCache:
 
     # -- lookups -------------------------------------------------------------
 
+    def bind_metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach (or detach, with None) a registry mirror."""
+        self.metrics = registry
+
     def lookup_raw(self, formula: Expr) -> Optional[CachedResult]:
         """Fast-path lookup keyed on the unprocessed formula."""
         entry = self._raw.get(formula)
         if entry is not None:
             self.hits += 1
+            if self.metrics is not None:
+                self.metrics.inc("smt.formula_cache.hits")
         return entry
 
     def lookup_canonical(self, raw: Expr, canonical: Expr) -> Optional[CachedResult]:
@@ -95,6 +107,9 @@ class FormulaCache:
             self._store(self._raw, raw, entry)
         else:
             self.misses += 1
+        if self.metrics is not None:
+            self.metrics.inc("smt.formula_cache.hits" if entry is not None
+                             else "smt.formula_cache.misses")
         return entry
 
     # -- insertion -----------------------------------------------------------
@@ -123,6 +138,9 @@ class FormulaCache:
             self.commute_misses += 1
         else:
             self.commute_hits += 1
+        if self.metrics is not None:
+            self.metrics.inc("smt.formula_cache.commute_misses" if verdict is None
+                             else "smt.formula_cache.commute_hits")
         return verdict
 
     def store_commute(self, key: Hashable, verdict: bool) -> None:

@@ -33,10 +33,13 @@ can degrade conservatively; they never occur on the pipeline's own VCs.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.logic import build
+from repro.obs.metrics import LegacyStatsView, MetricsRegistry, SOLVER_METRIC_NAMES
 from repro.logic.free_vars import free_vars
 from repro.logic.terms import (
     BOOL, BoolConst, Exists, Expr, Forall, INT, Var, is_atom, walk,
@@ -98,20 +101,16 @@ class Solver:
     """
 
     def __init__(self, max_theory_iterations: int = 2000,
-                 cache: Optional[FormulaCache] = None):
+                 cache: Optional[FormulaCache] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.max_theory_iterations = max_theory_iterations
         self.cache = cache
-        self.statistics: Dict[str, int] = {
-            "sat_queries": 0,
-            "theory_checks": 0,
-            "validity_queries": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "theory_lemmas": 0,
-            "commute_cache_hits": 0,
-            "commute_cache_misses": 0,
-            "commute_static_skips": 0,
-        }
+        # The counters live in a (per-solver by default, injectable) metrics
+        # registry under hierarchical names; ``statistics`` is the legacy
+        # flat-dict view over the same storage, so both surfaces agree.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.statistics: LegacyStatsView = LegacyStatsView(
+            self.metrics, names=SOLVER_METRIC_NAMES)
         self._atom_table = AtomTable()
         self._theory_lemmas: List[Tuple[int, ...]] = []
         self._theory_verdicts: Dict[frozenset, object] = {}
@@ -119,7 +118,29 @@ class Solver:
     # -- public API ---------------------------------------------------------
 
     def check_sat(self, formula: Expr) -> SatResult:
-        """Decide satisfiability of a quantifier-free formula."""
+        """Decide satisfiability of a quantifier-free formula.
+
+        When an SMT profiler is active (``expresso profile``, or any
+        ``repro.obs.observe(profile=True)`` session) the query's wall time,
+        cache outcome, and status are reported to it, attributed to the
+        tracer's current phase and the calling site.
+        """
+        profiler = obs.active_profiler()
+        if profiler is None:
+            return self._check_sat(formula)
+        hits_before = self.metrics.value("smt.cache.hits")
+        start = time.perf_counter()
+        result = self._check_sat(formula)
+        elapsed = time.perf_counter() - start
+        profiler.record(
+            formula, elapsed,
+            cached=self.metrics.value("smt.cache.hits") > hits_before,
+            status=result.status.value,
+            phase=obs.tracer().phase_path(),
+        )
+        return result
+
+    def _check_sat(self, formula: Expr) -> SatResult:
         self.statistics["sat_queries"] += 1
         if _contains_quantifier(formula):
             raise SolverError("check_sat expects a quantifier-free formula; "
