@@ -86,6 +86,22 @@ def _count(solver: Solver, key: str) -> None:
     solver.statistics[key] = solver.statistics.get(key, 0) + 1
 
 
+def _check_valid_degrading(solver: Solver, formula) -> bool:
+    """``check_valid`` with degradation accounting.
+
+    An UNKNOWN verdict (timeout, iteration budget, injected fault) already
+    answers False — "not proven to commute", the sound direction: the pair
+    is treated as dependent and DPOR merely prunes less.  This wrapper makes
+    the degradation *observable*: ``degraded.commutativity`` in the active
+    metrics registry plus a trace instant.
+    """
+    ok = solver.check_valid(formula)
+    if not ok and solver.consume_unknown() is not None:
+        obs.registry().inc("degraded.commutativity")
+        obs.tracer().instant("degraded.commutativity", cat="smt")
+    return ok
+
+
 def _memo(solver: Solver, key, compute) -> bool:
     """Look a verdict up in the solver's commute memo, computing on miss.
 
@@ -170,7 +186,7 @@ def _bodies_commute(first: Stmt, second: Stmt, solver: Solver,
             missing = Var(name, _sort_of_value(present))
             value_a = value_a if value_a is not None else missing
             value_b = value_b if value_b is not None else missing
-        if not solver.check_valid(build.eq(value_a, value_b)):
+        if not _check_valid_degrading(solver, build.eq(value_a, value_b)):
             return False
     return True
 
@@ -239,7 +255,7 @@ def _guard_preserved(body: Stmt, guard: Expr, solver: Solver) -> bool:
         transformed = weakest_precondition(body, guard)
     except (ValueError, TypeError):
         return False
-    return solver.check_valid(build.iff(guard, transformed))
+    return _check_valid_degrading(solver, build.iff(guard, transformed))
 
 
 #: One placed notification, structurally: (predicate, conditional, broadcast).
@@ -379,7 +395,7 @@ def _never_falsifies(body: Stmt, predicate: Expr, solver: Solver) -> bool:
         transformed = weakest_precondition(body, predicate)
     except (ValueError, TypeError):
         return False
-    return solver.check_valid(build.implies(predicate, transformed))
+    return _check_valid_degrading(solver, build.implies(predicate, transformed))
 
 
 def _ccr_notifications(ccr) -> Tuple[NotificationSpec, ...]:

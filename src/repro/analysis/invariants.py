@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.logic import build
 from repro.logic.free_vars import free_vars
 from repro.logic.simplify import simplify
@@ -84,6 +85,14 @@ def infer_monitor_invariant(monitor: Monitor, triples: Sequence[HoareTriple],
     for candidate in extra_candidates:
         add_candidate(candidate)
 
+    def holds(vc: Expr) -> bool:
+        # UNKNOWN drops the candidate — a weaker (but still sound) invariant.
+        ok = solver.check_valid(vc)
+        if not ok and solver.consume_unknown() is not None:
+            obs.registry().inc("degraded.invariants")
+            obs.tracer().instant("degraded.invariants", cat="smt")
+        return ok
+
     # Phase 2: greatest fixed point (lines 8-17).
     kept = list(pool)
     constructor = monitor.constructor()
@@ -96,7 +105,7 @@ def infer_monitor_invariant(monitor: Monitor, triples: Sequence[HoareTriple],
         surviving: List[Expr] = []
         for psi in kept:
             vc = build.implies(build.TRUE, weakest_precondition(constructor, psi))
-            if solver.check_valid(vc):
+            if holds(vc):
                 surviving.append(psi)
             else:
                 changed = True
@@ -109,7 +118,7 @@ def infer_monitor_invariant(monitor: Monitor, triples: Sequence[HoareTriple],
             for _method, ccr in monitor.ccrs():
                 pre = build.land(invariant, ccr.guard)
                 vc = build.implies(pre, weakest_precondition(ccr.body, psi))
-                if not solver.check_valid(vc):
+                if not holds(vc):
                     preserved = False
                     break
             if preserved:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro import obs
 from repro.logic import build
 from repro.logic.free_vars import free_vars
 from repro.logic.pretty import pretty
@@ -64,15 +65,23 @@ def can_enable(invariant: Expr, ccr: object, predicate: Expr,
     Re-checks Algorithm 1's line-7 omission triple
     ``{I ∧ guard ∧ ¬p'} body {¬p'}`` (p' = p with thread-locals renamed
     apart, §4.2): the triple holding means the segment provably cannot
-    enable the predicate.  ``True`` (triple fails or is undecidable) is the
-    conservative answer.
+    enable the predicate.  An UNKNOWN verdict (solver budget exhausted)
+    answers ``False``: a lint finding is an accusation of omission, and a
+    degraded solver cannot sustain one — placement saw the same UNKNOWN and
+    kept the notification, so firing ``missing-signal`` here would be a
+    false error.  Each suppression is counted as ``degraded.lint``.
     """
     locals_in_p = _guard_locals(predicate, fields)
     other_p = rename_thread_locals(predicate, locals_in_p, "blk")
     pre = build.land(invariant, ccr.guard, build.lnot(other_p))
     no_signal = HoareTriple(pre, ccr.body, build.lnot(other_p),
                             purpose=f"{ccr.label} cannot wake {_short(predicate)}")
-    return not check_triple(no_signal, solver)
+    ok = check_triple(no_signal, solver)
+    if not ok and solver.consume_unknown() is not None:
+        obs.registry().inc("degraded.lint")
+        obs.tracer().instant("degraded.lint", cat="smt", ccr=ccr.label)
+        return False
+    return not ok
 
 
 def check_missing_signals(explicit: object, solver: Solver,

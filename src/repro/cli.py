@@ -42,6 +42,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -69,6 +70,30 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _add_resilience_args(cmd: argparse.ArgumentParser) -> None:
+    """Worker-supervision and fault-injection flags shared by the campaigns."""
+    cmd.add_argument("--job-deadline", type=_positive_float, default=None,
+                     metavar="SECONDS",
+                     help="per-job wall-clock deadline; a job past it is "
+                          "treated as hung, its worker killed and the job "
+                          "retried (default: no deadline)")
+    cmd.add_argument("--job-retries", type=_positive_int, default=None,
+                     metavar="N",
+                     help="attempts per job before it is quarantined as a "
+                          "per-job error (default: 3)")
+    cmd.add_argument("--fault-plan", metavar="FILE", default=None,
+                     help="JSON FaultPlan injecting deterministic crashes/"
+                          "hangs/solver timeouts at named sites (testing; "
+                          "see README 'Robustness & resume')")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="expresso",
@@ -90,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--trace", metavar="FILE", default=None,
                              help="write a deterministic Chrome-trace-event "
                                   "JSON flight recording (Perfetto-loadable)")
+    compile_cmd.add_argument("--smt-timeout", type=_positive_float, default=None,
+                             metavar="SECONDS",
+                             help="per-SMT-query budget; an exhausted query "
+                                  "returns UNKNOWN and the analyses degrade "
+                                  "soundly (default: no budget)")
 
     explain_cmd = sub.add_parser("explain", help="show invariant and placement decisions")
     explain_cmd.add_argument("path", help="path to the implicit-signal monitor source")
@@ -169,8 +199,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="write a deterministic Chrome-trace-event "
                                   "JSON flight recording (per-schedule spans "
                                   "with prune provenance; shard-merged)")
+    explore_cmd.add_argument("--state-dir", default=None, metavar="DIR",
+                             help="journal per-benchmark results to DIR so an "
+                                  "interrupted campaign can continue with "
+                                  "--resume (excludes --trace/--fuzz/--replay)")
+    explore_cmd.add_argument("--resume", action="store_true",
+                             help="skip benchmarks already completed in "
+                                  "--state-dir's journal (same configuration "
+                                  "required)")
     explore_cmd.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON instead of text")
+    _add_resilience_args(explore_cmd)
 
     fuzz_cmd = sub.add_parser(
         "fuzz", help="coverage-guided fuzzing campaign over generated monitors")
@@ -206,8 +245,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--trace", metavar="FILE", default=None,
                           help="write a deterministic Chrome-trace-event "
                                "JSON flight recording of the whole campaign")
+    fuzz_cmd.add_argument("--resume", action="store_true",
+                          help="continue the last checkpointed campaign in "
+                               "--corpus-dir, rolling a torn journal tail "
+                               "back to the last good record first")
+    fuzz_cmd.add_argument("--repair", action="store_true",
+                          help="roll --corpus-dir back to its last valid "
+                               "journal record (truncate torn tail, drop "
+                               "stale tmp files, rewrite state), then resume")
     fuzz_cmd.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of text")
+    _add_resilience_args(fuzz_cmd)
 
     mutate_cmd = sub.add_parser(
         "mutate", help="drop every placed notification; each must be caught")
@@ -223,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="process-pool size (default: one per CPU)")
     mutate_cmd.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON instead of text")
+    _add_resilience_args(mutate_cmd)
 
     profile_cmd = sub.add_parser(
         "profile", help="profile SMT solver time by phase, caller site and "
@@ -250,6 +299,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="registry benchmark to lint (repeatable)")
     lint_cmd.add_argument("--suite", action="store_true",
                           help="lint every registry benchmark")
+    lint_cmd.add_argument("--smt-timeout", type=_positive_float, default=None,
+                          metavar="SECONDS",
+                          help="per-SMT-query budget; UNKNOWN verdicts "
+                               "suppress the affected advisory rather than "
+                               "report an unproven one (default: no budget)")
     lint_cmd.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of text")
 
@@ -261,7 +315,42 @@ def _pipeline_from_args(args) -> ExpressoPipeline:
     return ExpressoPipeline(
         use_commutativity=not getattr(args, "no_commutativity", False),
         infer_invariant=not getattr(args, "no_invariant", False),
+        smt_timeout=getattr(args, "smt_timeout", None),
     )
+
+
+def _supervisor_from_args(args):
+    """A SupervisorConfig from --job-deadline/--job-retries, or None."""
+    deadline = getattr(args, "job_deadline", None)
+    retries = getattr(args, "job_retries", None)
+    if deadline is None and retries is None:
+        return None
+    from repro.resilience import SupervisorConfig
+
+    config = SupervisorConfig(deadline_seconds=deadline)
+    if retries is not None:
+        config = dataclasses.replace(config, max_attempts=retries)
+    return config
+
+
+def _install_fault_plan(args) -> Optional[int]:
+    """Install --fault-plan process-wide; an exit code on failure."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None
+    from repro.resilience import FaultPlan, install_plan
+    from repro.resilience.faults import PLAN_ENV
+
+    try:
+        plan = FaultPlan.from_file(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load fault plan {path}: {exc}", file=sys.stderr)
+        return 2
+    # Workers spawned outside the supervisor's plan-shipping path (plain
+    # pools) pick the plan up from the environment.
+    os.environ[PLAN_ENV] = str(Path(path).resolve())
+    install_plan(plan)
+    return None
 
 
 def _cmd_compile(args) -> int:
@@ -446,6 +535,20 @@ def _cmd_explore(args) -> int:
               file=sys.stderr)
         return 2
 
+    if args.resume and not args.state_dir:
+        print("error: --resume needs --state-dir (the journal to continue "
+              "from)", file=sys.stderr)
+        return 2
+    if args.state_dir and (args.fuzz is not None or args.replay or args.trace):
+        print("error: --state-dir checkpoints registry-benchmark campaigns; "
+              "it cannot be combined with --fuzz, --replay or --trace",
+              file=sys.stderr)
+        return 2
+    failed = _install_fault_plan(args)
+    if failed is not None:
+        return failed
+    supervisor = _supervisor_from_args(args)
+
     if args.fuzz is not None:
         if args.benchmark or args.discipline != "expresso":
             print("error: --fuzz generates its own monitors and always explores "
@@ -476,8 +579,51 @@ def _cmd_explore(args) -> int:
         specs = [get_benchmark(name) for name in args.benchmark]
     else:
         specs = list(ALL_BENCHMARKS.values())
+
+    # --state-dir: journal one record per finished benchmark so a killed
+    # campaign continues from the last completed benchmark under --resume.
+    journal = None
+    completed: dict = {}
+    if args.state_dir:
+        from repro.explore.engine import ExplorationResult
+        from repro.resilience import Journal
+
+        fingerprint = {
+            "benchmarks": [spec.name for spec in specs],
+            "discipline": args.discipline, "strategy": args.strategy,
+            "schedules": args.schedules, "threads": args.threads,
+            "ops": args.ops, "seed": args.seed, "max_steps": args.max_steps,
+            "keep_going": args.keep_going, "por": args.por,
+            "semantic": args.semantic, "symmetry": args.symmetry,
+            "witness": args.witness,
+        }
+        state_dir = Path(args.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        journal_path = state_dir / "explore.jsonl"
+        journal = Journal(journal_path)
+        if args.resume:
+            replay = journal.truncate_to_valid()
+            records = list(replay.records)
+            if records and records[0].get("config") != fingerprint:
+                print(f"error: {journal_path} was written by a campaign with "
+                      f"a different configuration; drop --resume to start "
+                      f"over", file=sys.stderr)
+                return 2
+            completed = {record["name"]: record["result"]
+                         for record in records
+                         if record.get("type") == "benchmark"}
+            need_config = not records
+        else:
+            journal_path.unlink(missing_ok=True)
+            need_config = True
+        if need_config:
+            journal.append({"type": "config", "config": fingerprint})
+
     results = []
     for spec in specs:
+        if spec.name in completed:
+            results.append(ExplorationResult.from_dict(completed[spec.name]))
+            continue
         if args.workers > 1 or args.trace:
             # Traced runs always go through the parallel driver: its
             # sequential fallback records into the same shard surface, so
@@ -488,7 +634,7 @@ def _cmd_explore(args) -> int:
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
                 por=args.por, semantic=args.semantic, symmetry=args.symmetry,
                 witness=args.witness, trace=bool(args.trace),
-                workers=args.workers))
+                workers=args.workers, supervisor=supervisor))
         else:
             results.append(explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
@@ -496,6 +642,9 @@ def _cmd_explore(args) -> int:
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
                 por=args.por, semantic=args.semantic, symmetry=args.symmetry,
                 witness=args.witness))
+        if journal is not None:
+            journal.append({"type": "benchmark", "name": spec.name,
+                            "result": results[-1].to_dict()})
     if args.trace:
         from repro import obs
 
@@ -528,17 +677,48 @@ def _cmd_explore(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from repro.fuzz import CorpusStore, FuzzConfig, run_campaign
+    from repro.fuzz import (
+        CorpusStore,
+        CorruptCorpusError,
+        FuzzConfig,
+        run_campaign,
+    )
     from repro.harness.report import render_fuzz_table
 
+    failed = _install_fault_plan(args)
+    if failed is not None:
+        return failed
+    if (args.resume or args.repair) and not args.corpus_dir:
+        print("error: --resume/--repair need --corpus-dir (the campaign "
+              "state to continue from)", file=sys.stderr)
+        return 2
+    store = CorpusStore(args.corpus_dir)
+    if args.repair:
+        try:
+            summary = store.repair()
+        except CorruptCorpusError as exc:
+            print(f"error: cannot repair corpus at {exc.root}: {exc.detail}",
+                  file=sys.stderr)
+            return 2
+        truncated = "truncated torn tail" if summary["journal_truncated"] \
+            else "journal intact"
+        print(f"repaired {args.corpus_dir}: {summary['journal_records']} "
+              f"journal record(s) kept ({truncated}), "
+              f"{len(summary['tmp_removed'])} stale tmp file(s) removed",
+              file=sys.stderr)
     config = FuzzConfig(
         seed=args.seed, budget=args.budget,
         per_run_budget=args.per_run_budget, threads=args.threads,
         ops=args.ops, batch_size=args.batch_size, bootstrap=args.bootstrap,
         max_findings=args.max_findings, workers=args.workers,
         strategy=args.strategy, max_steps=args.max_steps,
-        trace=bool(args.trace))
-    result = run_campaign(config, CorpusStore(args.corpus_dir))
+        trace=bool(args.trace), resume=args.resume or args.repair,
+        supervisor=_supervisor_from_args(args))
+    try:
+        result = run_campaign(config, store)
+    except CorruptCorpusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.trace:
         from repro import obs
 
@@ -568,12 +748,16 @@ def _cmd_mutate(args) -> int:
     from repro.benchmarks_lib.registry import get_benchmark
     from repro.explore.parallel import mutation_campaign
 
+    failed = _install_fault_plan(args)
+    if failed is not None:
+        return failed
     if args.benchmark:
         specs = [get_benchmark(name) for name in args.benchmark]
     else:
         specs = list(ALL_BENCHMARKS.values())
     report = mutation_campaign(specs, threads=args.threads, ops=args.ops,
-                               budget=args.schedules, workers=args.workers)
+                               budget=args.schedules, workers=args.workers,
+                               supervisor=_supervisor_from_args(args))
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
         return 0 if report.ok else 1
@@ -696,7 +880,8 @@ def _cmd_lint(args) -> int:
 
     # Placement re-derivation dominates lint time; share the formula cache so
     # suite runs amortize the near-duplicate VCs across monitors.
-    pipeline = ExpressoPipeline(cache=FormulaCache())
+    pipeline = ExpressoPipeline(cache=FormulaCache(),
+                                smt_timeout=args.smt_timeout)
     reports: List[LintReport] = []
     for name, source in targets:
         try:

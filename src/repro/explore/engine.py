@@ -454,6 +454,17 @@ class Counterexample:
             record["witness"] = self.witness
         return record
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        """Rehydrate a :meth:`to_dict` record (explore checkpoint resume)."""
+        return cls(kind=data["kind"], detail=data["detail"],
+                   schedule=tuple(data.get("schedule", ())),
+                   minimized=tuple(data.get("minimized", ())),
+                   trace=data.get("trace", ""),
+                   strategy=data.get("strategy", "?"),
+                   seed=data.get("seed"),
+                   witness=data.get("witness"))
+
 
 @dataclass
 class ExplorationResult:
@@ -506,6 +517,15 @@ class ExplorationResult:
     #: ``to_dict`` — the JSON artifact surface is unchanged.
     trace_shards: Optional[List[list]] = field(default=None, repr=False)
     metrics_snapshot: Optional[Dict[str, int]] = field(default=None, repr=False)
+    #: Shards the worker supervisor gave up on (quarantined after retries):
+    #: one dict per lost shard with the shard's identifying parameters and
+    #: the error chain.  Serialized only when nonempty, so fault-free
+    #: campaign artifacts are byte-identical with or without supervision.
+    worker_failures: List[dict] = field(default_factory=list)
+    #: Serialized schedules/s pinned by :meth:`from_dict` — ``to_dict``
+    #: derives the rate from the *unrounded* elapsed time, so a rehydrated
+    #: record must carry the original value to round-trip byte-identically.
+    sps_override: Optional[float] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -513,12 +533,14 @@ class ExplorationResult:
 
     @property
     def schedules_per_second(self) -> float:
+        if self.sps_override is not None:
+            return self.sps_override
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.schedules_run / self.elapsed_seconds
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "benchmark": self.benchmark,
             "discipline": self.discipline,
             "strategy": self.strategy,
@@ -543,6 +565,34 @@ class ExplorationResult:
             "ok": self.ok,
             "failures": [failure.to_dict() for failure in self.failures],
         }
+        if self.worker_failures:
+            record["worker_failures"] = self.worker_failures
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationResult":
+        """Rehydrate a :meth:`to_dict` record (explore checkpoint resume).
+
+        Round-trips every serialized field; the derived keys (``ok``,
+        ``schedules_per_second``) and the non-serialized flight-recorder
+        payloads are recomputed/absent, so ``from_dict(d).to_dict() == d``
+        for any ``to_dict`` output.
+        """
+        result = cls(benchmark=data["benchmark"],
+                     discipline=data["discipline"],
+                     strategy=data["strategy"], seed=data["seed"])
+        for name in ("threads", "ops", "workers", "schedules_run",
+                     "completed", "stalls", "pruned", "por_skipped",
+                     "symmetry_skipped", "shared_hits", "distinct_states",
+                     "exhausted", "budget_exhausted", "oracle_hits",
+                     "oracle_misses", "elapsed_seconds"):
+            if name in data:
+                setattr(result, name, data[name])
+        result.sps_override = data.get("schedules_per_second")
+        result.failures = [Counterexample.from_dict(failure)
+                           for failure in data.get("failures", ())]
+        result.worker_failures = list(data.get("worker_failures", ()))
+        return result
 
 
 # ---------------------------------------------------------------------------

@@ -37,10 +37,10 @@ a placement-wide lost-wakeup detection sweep, parallelized per mutant.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -58,27 +58,35 @@ from repro.explore.scheduler import run_schedule
 from repro.explore.strategies import FirstStrategy
 from repro.lang.ast import Monitor
 from repro.placement.target import ExplicitMonitor
+from repro.resilience import JobFailure, SupervisorConfig, run_supervised
 
 
 def default_workers() -> int:
     return os.cpu_count() or 2
 
 
-def map_jobs(function, jobs: Sequence[dict], workers: Optional[int] = None) -> List:
-    """Order-preserving map over the campaign worker pool.
+def map_jobs(function, jobs: Sequence[dict], workers: Optional[int] = None,
+             supervisor: Optional[SupervisorConfig] = None) -> List:
+    """Order-preserving *supervised* map over the campaign worker pool.
 
     The building block campaign drivers (the mutation sweep, the fuzzing
     campaign's batches) shard per-candidate jobs with: results come back in
     job order whatever the pool's scheduling did, so merging is
     deterministic and independent of the worker count; one worker (or one
     job) short-circuits to an in-process loop.
+
+    Execution is delegated to the worker supervisor: a worker death
+    (``BrokenProcessPool``) or a hang past ``supervisor.deadline_seconds``
+    costs bounded retries of the *suspect* jobs, never the completed
+    siblings — a job that keeps failing comes back as
+    :class:`~repro.resilience.JobFailure` carrying the offending job dict,
+    in its slot, instead of an exception that loses the whole batch.
     """
     jobs = list(jobs)
-    workers = workers or default_workers()
-    if workers <= 1 or len(jobs) <= 1:
-        return [function(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        return list(pool.map(function, jobs))
+    config = supervisor or SupervisorConfig()
+    config = dataclasses.replace(
+        config, workers=workers or config.workers or default_workers())
+    return run_supervised(function, jobs, config)
 
 
 # ---------------------------------------------------------------------------
@@ -335,8 +343,10 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                            por: bool = True, semantic: bool = True,
                            symmetry: bool = True, share_states: bool = True,
                            witness: bool = False, trace: bool = False,
-                           workers: Optional[int] = None) -> ExplorationResult:
-    """`explore_class`, sharded over a process pool.
+                           workers: Optional[int] = None,
+                           supervisor: Optional[SupervisorConfig] = None,
+                           ) -> ExplorationResult:
+    """`explore_class`, sharded over a supervised process pool.
 
     Falls back to the sequential engine when one worker (or one shard) would
     do all the work anyway.  The coop class must carry ``_coop_source`` (all
@@ -347,6 +357,13 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
     flight-recorder session and attaches ``trace_shards`` /
     ``metrics_snapshot`` to the merged result (also on the sequential
     fallback, so callers read one surface regardless of worker count).
+
+    Shards run under the worker supervisor: a shard whose worker dies or
+    hangs is retried in isolation and, if it keeps failing, *quarantined* —
+    recorded in ``result.worker_failures`` with its shard parameters — while
+    every surviving shard's coverage and failures are still merged.  A lost
+    shard also forces ``exhausted=False``: the merged result never claims
+    full coverage of a subtree nobody finished.
     """
     workers = workers or default_workers()
     source = getattr(coop_class, "_coop_source", None)
@@ -427,13 +444,34 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                 job["budget"] = end - start
                 jobs.append(job)
         start_time = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
-            shards = list(pool.map(_run_shard, jobs))
+        config = supervisor or SupervisorConfig()
+        config = dataclasses.replace(config, workers=len(jobs))
+        outcomes = run_supervised(_run_shard, jobs, config)
         elapsed = time.perf_counter() - start_time
     finally:
         if manager is not None:
             manager.shutdown()
-    return merge_results(shards, strategy, seed, len(jobs), elapsed)
+    shards: List[ExplorationResult] = []
+    lost: List[dict] = []
+    for job, outcome in zip(jobs, outcomes):
+        if isinstance(outcome, JobFailure):
+            lost.append(outcome.error_dict(
+                shard={"seed": job["seed"], "budget": job["budget"],
+                       "dfs_prefixes": [list(prefix) for prefix in
+                                        job["dfs_prefixes"]]
+                       if job.get("dfs_prefixes") else None}))
+        else:
+            shards.append(outcome)
+    if not shards:
+        merged = ExplorationResult(
+            benchmark=benchmark, discipline=discipline, strategy=strategy,
+            seed=seed, workers=len(jobs), elapsed_seconds=elapsed)
+    else:
+        merged = merge_results(shards, strategy, seed, len(jobs), elapsed)
+    if lost:
+        merged.worker_failures = lost
+        merged.exhausted = False
+    return merged
 
 
 def parallel_explore_benchmark(spec, discipline: str = "expresso",
@@ -482,14 +520,19 @@ class MutationReport:
         return [m for m in self.mutants if m["status"] == "benign"]
 
     @property
+    def errors(self) -> List[dict]:
+        return [m for m in self.mutants if m["status"] == "error"]
+
+    @property
     def ok(self) -> bool:
         """Every mutant either yielded a counterexample or was *proven*
         unobservable at this bound (exhausted without divergence); a mutant
-        that merely outlives the budget fails the campaign."""
-        return not self.survived
+        that merely outlives the budget — or whose worker was quarantined
+        before a verdict (``error``) — fails the campaign."""
+        return not self.survived and not self.errors
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "threads": self.threads,
             "ops": self.ops,
             "budget": self.budget,
@@ -502,12 +545,17 @@ class MutationReport:
             "ok": self.ok,
             "mutants": self.mutants,
         }
+        if self.errors:
+            record["errors"] = len(self.errors)
+        return record
 
 
 def mutation_campaign(specs, threads: int = 3, ops: int = 2,
                       budget: int = 20_000, max_steps: int = 20_000,
                       workers: Optional[int] = None, minimize: bool = True,
-                      pipeline=None) -> MutationReport:
+                      pipeline=None,
+                      supervisor: Optional[SupervisorConfig] = None,
+                      ) -> MutationReport:
     """Drop every placed notification across *specs*; each must be detected.
 
     Compilation (SMT) happens once per benchmark in the driver; workers only
@@ -546,6 +594,14 @@ def mutation_campaign(specs, threads: int = 3, ops: int = 2,
     report = MutationReport(threads=threads, ops=ops, budget=budget,
                             workers=workers)
     start = time.perf_counter()
-    report.mutants = map_jobs(_run_mutant, jobs, workers)
+    outcomes = map_jobs(_run_mutant, jobs, workers, supervisor=supervisor)
+    report.mutants = [
+        outcome if not isinstance(outcome, JobFailure)
+        else outcome.error_dict(
+            benchmark=outcome.job["benchmark"], site=outcome.job["site"],
+            status="error", kind=None, schedules_run=0, exhausted=False,
+            failure=None)
+        for outcome in outcomes
+    ]
     report.elapsed_seconds = time.perf_counter() - start
     return report

@@ -25,7 +25,7 @@ from repro.fuzz.campaign import (
     FuzzConfig,
     run_campaign,
 )
-from repro.fuzz.corpus import CorpusEntry, CorpusStore
+from repro.fuzz.corpus import CorpusEntry, CorpusStore, CorruptCorpusError
 from repro.fuzz.coverage import COVERAGE_AXES, CoverageMap, state_shape
 from repro.fuzz.generate import (
     FuzzReport,
@@ -38,7 +38,7 @@ from repro.fuzz.mutate import OPERATORS, apply_operator
 
 __all__ = [
     "FuzzCampaignResult", "FuzzConfig", "run_campaign",
-    "CorpusEntry", "CorpusStore",
+    "CorpusEntry", "CorpusStore", "CorruptCorpusError",
     "COVERAGE_AXES", "CoverageMap", "state_shape",
     "FuzzReport", "GeneratedMonitor", "derive_seed", "fuzz_pipeline",
     "random_monitor",

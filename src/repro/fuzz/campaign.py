@@ -22,6 +22,18 @@ pure function of the campaign seed, the starting corpus and the budget; the
 worker count only changes wall-clock time.  The budget counts **judged
 schedules**, so equal-budget comparisons against the blind
 :func:`repro.fuzz.generate.fuzz_pipeline` baseline are fair.
+
+Crash safety: with an on-disk store, the driver appends one self-contained
+**checkpoint record** to the corpus journal after the bootstrap and after
+every mutation round — admission-ordered entry ids, power-schedule picks,
+coverage, findings, and the result counters.  ``resume=True`` restores the
+last checkpoint and continues the *same* invocation; because checkpoints
+carry no timing and every round is a pure function of (seed, round index,
+restored state), a campaign killed at any point and resumed produces a
+byte-identical corpus directory — journal included — to one that never
+crashed.  Candidate evaluation runs under the worker supervisor: a worker
+death or hang is retried and, at worst, quarantined into
+``compile_errors`` as a per-candidate ``worker:`` error.
 """
 
 from __future__ import annotations
@@ -32,10 +44,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.explore.parallel import map_jobs
-from repro.fuzz.corpus import CorpusEntry, CorpusStore, entry_from_generated
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    CorpusStore,
+    CorruptCorpusError,
+    entry_from_generated,
+)
 from repro.fuzz.coverage import CoverageMap, coverage_fingerprint, run_features
 from repro.fuzz.generate import balanced_workload, derive_seed, roles_from_json, roles_to_json
 from repro.fuzz.mutate import CROSSOVER_OPERATORS, OPERATORS, apply_operator
+from repro.resilience import JobFailure, SupervisorConfig, fault_check
 
 
 @dataclass
@@ -55,6 +73,26 @@ class FuzzConfig:
     strategy: str = "dfs"
     max_steps: int = 20_000
     trace: bool = False           # flight recorder: per-candidate shard traces
+    #: Continue the last journaled invocation (rolling the corpus back to
+    #: its last valid checkpoint first) instead of starting a new one.
+    resume: bool = False
+    #: Worker supervision knobs (per-job deadline, retry budget); ``None``
+    #: uses the supervisor defaults.
+    supervisor: Optional[SupervisorConfig] = None
+
+    def fingerprint_dict(self) -> dict:
+        """The deterministic inputs a resumed invocation must match.
+
+        ``workers`` and ``trace`` are excluded: both change wall-clock
+        behaviour only, never the campaign's observable results.
+        """
+        return {"seed": self.seed, "budget": self.budget,
+                "per_run_budget": self.per_run_budget,
+                "threads": self.threads, "ops": self.ops,
+                "batch_size": self.batch_size, "bootstrap": self.bootstrap,
+                "max_findings": self.max_findings,
+                "max_rounds": self.max_rounds, "strategy": self.strategy,
+                "max_steps": self.max_steps}
 
 
 @dataclass
@@ -149,6 +187,7 @@ def _evaluate_candidate(job: dict) -> dict:
     pool worker) and ship the raw events + counter snapshot home with the
     outcome; the driver merges them in batch-slot order.
     """
+    fault_check("fuzz.candidate", token=job["entry_id"])
     if not job.get("trace"):
         return _evaluate_candidate_inner(job)
     with obs.observe(trace=True) as session:
@@ -291,7 +330,60 @@ def run_campaign(config: FuzzConfig,
         return result
     store = store or CorpusStore(None)
     start = time.perf_counter()
-    entries = store.load_entries()
+    result = FuzzCampaignResult(seed=config.seed, budget=config.budget,
+                                workers=config.workers,
+                                strategy=config.strategy)
+
+    # -- journal recovery / restore -------------------------------------------
+    journal = store.journal()
+    checkpoint_record = None
+    if journal is not None and journal.exists():
+        if config.resume:
+            replay = journal.truncate_to_valid()
+        else:
+            replay = journal.replay()
+            if replay.torn:
+                raise CorruptCorpusError(
+                    store.root, "journal has a torn tail; rerun with "
+                    "--resume (or --repair) to roll back to the last "
+                    "valid checkpoint")
+        checkpoint_record = replay.last
+    resuming = config.resume and checkpoint_record is not None
+    if resuming:
+        if checkpoint_record["config"] != config.fingerprint_dict():
+            raise CorruptCorpusError(
+                store.root, "checkpoint was written by a campaign with "
+                "different parameters; resume with the original flags")
+        store.restore_checkpoint(checkpoint_record)
+        entries = store.load_entries(ids=checkpoint_record["entries"])
+        picks = checkpoint_record["picks"]
+        for entry in entries:
+            entry.picks = int(picks.get(entry.entry_id, 0))
+        counters = checkpoint_record["result"]
+        result.monitors = counters["monitors"]
+        result.schedules_run = counters["schedules_run"]
+        result.corpus_added = counters["corpus_added"]
+        result.new_features = counters["new_features"]
+        result.duplicate_findings = counters["duplicate_findings"]
+        result.compile_errors = [dict(item) for item
+                                 in counters["compile_errors"]]
+        result.operator_stats = {name: dict(stats) for name, stats in
+                                 counters["operator_stats"].items()}
+    else:
+        if config.resume:
+            # Nothing journaled yet: nothing was ever committed, so the
+            # resume is a fresh start — and any entry/state files a crash
+            # left behind before the first checkpoint are uncommitted and
+            # must not seed it.
+            store.rollback_uncommitted()
+        elif checkpoint_record is not None:
+            problems = store.validate()
+            if problems:
+                raise CorruptCorpusError(
+                    store.root, "state files disagree with the journal "
+                    f"({'; '.join(problems)}); rerun with --resume or "
+                    "--repair")
+        entries = store.load_entries()
     known_ids = {entry.entry_id for entry in entries}
     coverage = CoverageMap.from_dict(store.load_coverage() or {})
     fingerprints = {entry.fingerprint for entry in entries
@@ -301,12 +393,15 @@ def run_campaign(config: FuzzConfig,
         key = (record.get("kind"), tuple(record.get("minimized", ())),
                record.get("coverage_fingerprint"))
         findings[key] = record
-    meta = store.load_meta()
-    round_index = int(meta.get("rounds_completed", 0))
-
-    result = FuzzCampaignResult(seed=config.seed, budget=config.budget,
-                                workers=config.workers,
-                                strategy=config.strategy)
+    if resuming:
+        round_index = int(checkpoint_record["round_index"])
+        rounds_restored = int(checkpoint_record["rounds_this_run"])
+        bootstrap_done = bool(checkpoint_record["bootstrap_done"])
+    else:
+        meta = store.load_meta()
+        round_index = int(meta.get("rounds_completed", 0))
+        rounds_restored = 0
+        bootstrap_done = False
     tracer = obs.tracer()
     metrics = obs.registry() if tracer.enabled else None
     worker_shards: List[list] = []
@@ -315,7 +410,11 @@ def run_campaign(config: FuzzConfig,
         return result.operator_stats.setdefault(
             name, {"applied": 0, "rejected": 0, "new_coverage": 0, "findings": 0})
 
-    def merge_outcome(outcome: dict, entry: CorpusEntry, op_name: Optional[str]) -> None:
+    def merge_outcome(outcome, entry: CorpusEntry, op_name: Optional[str]) -> None:
+        if isinstance(outcome, JobFailure):
+            # The supervisor quarantined this candidate's worker: record it
+            # like a compile error — per-candidate, never campaign-fatal.
+            outcome = outcome.error_dict(entry_id=entry.entry_id)
         if metrics is not None:
             events = outcome.pop("trace_events", None)
             if events:
@@ -370,20 +469,69 @@ def run_campaign(config: FuzzConfig,
         return (result.schedules_run < config.budget
                 and len(findings) < config.max_findings)
 
+    def ordered_findings_list() -> List[dict]:
+        return sorted(
+            findings.values(),
+            key=lambda record: (record.get("entry_id", ""),
+                                record.get("kind", ""),
+                                tuple(record.get("minimized", ()))))
+
+    def checkpoint() -> None:
+        """Persist state files + append one self-contained journal record.
+
+        The record carries everything a resume needs (no timing, nothing
+        invocation-specific), so a killed-and-resumed campaign appends the
+        *same* records an uninterrupted one would — the journal itself
+        converges byte-identically.
+        """
+        if journal is None:
+            return
+        meta = {"seed": config.seed, "rounds_completed": round_index,
+                "schedules_last_run": result.schedules_run}
+        current_findings = ordered_findings_list()
+        store.save_state(coverage.to_dict(), current_findings, meta)
+        journal.append_if_changed({
+            "type": "checkpoint",
+            "config": config.fingerprint_dict(),
+            "bootstrap_done": bootstrap_done,
+            "round_index": round_index,
+            "rounds_this_run": rounds_this_run,
+            "entries": [entry.entry_id for entry in entries],
+            "picks": {entry.entry_id: entry.picks for entry in entries
+                      if entry.picks},
+            "coverage": coverage.to_dict(),
+            "findings": current_findings,
+            "meta": meta,
+            "result": {
+                "monitors": result.monitors,
+                "schedules_run": result.schedules_run,
+                "corpus_added": result.corpus_added,
+                "new_features": result.new_features,
+                "duplicate_findings": result.duplicate_findings,
+                "compile_errors": result.compile_errors,
+                "operator_stats": result.operator_stats,
+            },
+        })
+
     # -- bootstrap ------------------------------------------------------------
+    rounds_this_run = rounds_restored
     boot_jobs: List[Tuple[CorpusEntry, dict]] = []
-    for index in range(config.bootstrap):
-        entry = entry_from_generated(config.seed, index)
-        entry.threads, entry.ops = config.threads, config.ops
-        if entry.entry_id in known_ids:
-            continue
-        boot_jobs.append((entry, _entry_job(entry, config)))
+    if not bootstrap_done:
+        for index in range(config.bootstrap):
+            entry = entry_from_generated(config.seed, index)
+            entry.threads, entry.ops = config.threads, config.ops
+            if entry.entry_id in known_ids:
+                continue
+            boot_jobs.append((entry, _entry_job(entry, config)))
+    bootstrap_done = True
     if boot_jobs and budget_left():
         with tracer.span("fuzz.bootstrap", cat="fuzz", batch=len(boot_jobs)):
             outcomes = map_jobs(_evaluate_candidate,
                                 [job for _entry, job in boot_jobs],
-                                config.workers)
+                                config.workers, supervisor=config.supervisor)
         for (entry, _job), outcome in zip(boot_jobs, outcomes):
+            if isinstance(outcome, JobFailure):
+                outcome = outcome.error_dict(entry_id=entry.entry_id)
             # Bootstrap roots always join the corpus (dedup still applies to
             # their fingerprints for later mutants); they are the search's
             # anchors even when an earlier root covered the same features.
@@ -393,9 +541,9 @@ def run_campaign(config: FuzzConfig,
                 known_ids.add(entry.entry_id)
                 fingerprints.add(entry.fingerprint)
                 store.save_entry(entry)
+        checkpoint()
 
     # -- mutation rounds ------------------------------------------------------
-    rounds_this_run = 0
     while budget_left() and entries and rounds_this_run < config.max_rounds:
         batch: List[Tuple[CorpusEntry, Optional[str], dict]] = []
         for slot in range(config.batch_size):
@@ -453,22 +601,22 @@ def run_campaign(config: FuzzConfig,
         with tracer.span("fuzz.round", cat="fuzz", round=round_index,
                          batch=len(batch)):
             outcomes = map_jobs(_evaluate_candidate,
-                                [job for _e, _op, job in batch], config.workers)
+                                [job for _e, _op, job in batch],
+                                config.workers, supervisor=config.supervisor)
         for (entry, op_name, _job), outcome in zip(batch, outcomes):
+            if isinstance(outcome, JobFailure):
+                outcome = outcome.error_dict(entry_id=entry.entry_id)
             merge_outcome(outcome, entry, op_name or "fresh-generation")
         round_index += 1
         rounds_this_run += 1
+        checkpoint()
 
     # -- finalize -------------------------------------------------------------
     result.rounds = rounds_this_run
     result.corpus_size = len(entries)
     result.coverage_counts = coverage.counts()
     result.coverage_total = coverage.total()
-    ordered_findings = sorted(
-        findings.values(),
-        key=lambda record: (record.get("entry_id", ""), record.get("kind", ""),
-                            tuple(record.get("minimized", ()))))
-    result.findings = ordered_findings
+    result.findings = ordered_findings_list()
     result.elapsed_seconds = time.perf_counter() - start
     if metrics is not None:
         for name, stats in sorted(result.operator_stats.items()):
@@ -476,9 +624,13 @@ def run_campaign(config: FuzzConfig,
                 if value:
                     metrics.inc(f"fuzz.operator.{name}.{key}", value)
         result.trace_shards = worker_shards
-    store.save_state(coverage.to_dict(), ordered_findings, {
-        "seed": config.seed,
-        "rounds_completed": round_index,
-        "schedules_last_run": result.schedules_run,
-    })
+    checkpoint()
+    if journal is None:
+        # In-memory stores have no journal but keep the save_state contract
+        # (a no-op for ``CorpusStore(None)``, the state files otherwise).
+        store.save_state(coverage.to_dict(), result.findings, {
+            "seed": config.seed,
+            "rounds_completed": round_index,
+            "schedules_last_run": result.schedules_run,
+        })
     return result

@@ -6,6 +6,21 @@ Layout of a corpus directory::
     <dir>/coverage.json        the merged CoverageMap (sorted, byte-stable)
     <dir>/findings.json        deduplicated findings with witnesses
     <dir>/entries/<id>.json    one file per corpus entry
+    <dir>/journal.jsonl        write-ahead checkpoint journal (crash safety)
+
+Crash safety: every file write is atomic (tmp + fsync + ``os.replace``), so
+state files can never tear — only the *set* of files can be inconsistent
+after a crash.  The campaign driver closes that window with the journal:
+each completed unit of work (bootstrap, every mutation round, finalize)
+appends one **self-contained checkpoint record** — the admission-ordered
+entry-id list, the power-schedule pick counts, the full coverage map,
+findings and result counters — so recovery never needs the state files at
+all: :meth:`CorpusStore.restore_checkpoint` rewrites them from the last
+valid record, and :meth:`~repro.resilience.Journal.truncate_to_valid`
+handles a torn tail.  Entry files written by a crashed round are *orphans*
+(absent from every checkpoint's admission list); the resumed round re-runs
+deterministically and rewrites them byte-identically, so they are never
+deleted, only superseded.
 
 Every entry records *provenance*, not just its artifact: generated roots
 carry their ``(campaign seed, index)`` derivation, mutants their parent id,
@@ -33,6 +48,21 @@ from repro.fuzz.generate import (
     roles_to_json,
 )
 from repro.fuzz.mutate import Candidate, apply_operator
+from repro.resilience import Journal, atomic_write_json, checksum_payload
+
+
+class CorruptCorpusError(RuntimeError):
+    """A corpus directory is in a state the campaign refuses to build on.
+
+    Raised instead of a traceback deep in the loader, with the offending
+    path and a one-line diagnosis; ``expresso fuzz`` maps it to exit code 2
+    and points at ``--resume`` / ``--repair``.
+    """
+
+    def __init__(self, root, detail: str):
+        self.root = Path(root) if root is not None else None
+        self.detail = detail
+        super().__init__(f"corrupt corpus at {self.root}: {detail}")
 
 
 @dataclasses.dataclass
@@ -153,15 +183,45 @@ def rebuild_candidate(entry: CorpusEntry,
 class CorpusStore:
     """Load/save the corpus directory (or run fully in memory with ``None``)."""
 
+    JOURNAL_NAME = "journal.jsonl"
+    STATE_FILES = ("coverage.json", "findings.json", "meta.json")
+
     def __init__(self, root: Optional[str] = None):
         self.root = Path(root) if root is not None else None
 
+    def journal(self) -> Optional[Journal]:
+        """The corpus's write-ahead checkpoint journal (``None`` in-memory)."""
+        if self.root is None:
+            return None
+        return Journal(self.root / self.JOURNAL_NAME)
+
     # -- loading --------------------------------------------------------------
 
-    def load_entries(self) -> List[CorpusEntry]:
+    def load_entries(self, ids: Optional[Sequence[str]] = None) -> List[CorpusEntry]:
+        """Load corpus entries: all of them (id-sorted), or exactly *ids*.
+
+        With *ids* — a checkpoint's admission-ordered list — entries come
+        back in that order (the power schedule's tie-break order), orphan
+        files from crashed rounds are skipped, and a *missing* admitted
+        entry raises :class:`CorruptCorpusError`: the journal says it was
+        admitted, so its absence means the directory was tampered with or
+        lost writes the journal fsync'd.
+        """
         if self.root is None:
             return []
         entries_dir = self.root / "entries"
+        if ids is not None:
+            entries = []
+            for entry_id in ids:
+                path = entries_dir / f"{entry_id}.json"
+                try:
+                    entries.append(CorpusEntry.from_dict(
+                        json.loads(path.read_text())))
+                except (OSError, ValueError, KeyError) as exc:
+                    raise CorruptCorpusError(
+                        self.root, f"admitted entry {entry_id!r} unreadable "
+                        f"({type(exc).__name__}); run --repair") from exc
+            return entries
         if not entries_dir.is_dir():
             return []
         entries = []
@@ -213,4 +273,139 @@ class CorpusStore:
 
     @staticmethod
     def _write_json(path: Path, payload) -> None:
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        # Atomic even outside the journal path: a kill mid-write must leave
+        # the previous version intact, never a torn file.
+        atomic_write_json(path, payload)
+
+    # -- crash recovery -------------------------------------------------------
+
+    def restore_checkpoint(self, record: dict) -> None:
+        """Rewrite the state files from a self-contained checkpoint record.
+
+        Used by resume/repair to roll the directory back to its last
+        journaled state — including the files-ahead-of-journal window (a
+        crash after the state writes but before the checkpoint append).
+        """
+        if self.root is None:
+            return
+        self.clean_stale_tmp()
+        self.save_state(record["coverage"], record["findings"], record["meta"])
+
+    def rollback_uncommitted(self) -> List[str]:
+        """Roll a store whose journal has *no* records back to empty.
+
+        A crash before the first checkpoint append leaves entry and state
+        files the journal never committed; a resume must not let them seed
+        the fresh start (they may even belong to a different configuration —
+        without a checkpoint record there is no fingerprint to compare).
+        Returns the removed paths (relative to the root).
+        """
+        removed = self.clean_stale_tmp()
+        if self.root is None or not self.root.is_dir():
+            return removed
+        entries_dir = self.root / "entries"
+        state_paths = [self.root / name for name in self.STATE_FILES]
+        entry_paths = (sorted(entries_dir.glob("*.json"))
+                       if entries_dir.is_dir() else [])
+        for path in state_paths + entry_paths:
+            try:
+                path.unlink()
+                removed.append(str(path.relative_to(self.root)))
+            except OSError:
+                pass
+        return removed
+
+    def clean_stale_tmp(self) -> List[str]:
+        """Remove ``*.tmp`` siblings left by writes a crash interrupted."""
+        removed = []
+        if self.root is None or not self.root.is_dir():
+            return removed
+        for directory in (self.root, self.root / "entries"):
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.tmp")):
+                try:
+                    path.unlink()
+                    removed.append(str(path.relative_to(self.root)))
+                except OSError:
+                    pass
+        return removed
+
+    def validate(self) -> List[str]:
+        """Diagnose the directory; one human-readable line per problem.
+
+        Checks, in dependency order: journal integrity (torn tail), state
+        files against the last checkpoint's content (detects both torn
+        writes and the crash window between state writes and the journal
+        commit), and the presence of every admitted entry file.
+        """
+        problems: List[str] = []
+        if self.root is None:
+            return problems
+        if not self.root.is_dir():
+            return [f"{self.root} is not a directory"]
+        journal = self.journal()
+        replay = journal.replay()
+        if replay.torn:
+            problems.append(
+                f"journal has a torn tail after {len(replay.records)} "
+                f"valid record(s)")
+        record = replay.last
+        expected = {}
+        if record is not None:
+            expected = {"coverage.json": record["coverage"],
+                        "findings.json": record["findings"],
+                        "meta.json": record["meta"]}
+        for name in self.STATE_FILES:
+            path = self.root / name
+            if not path.exists():
+                if record is not None:
+                    problems.append(f"{name} missing (journal has it)")
+                continue
+            try:
+                payload = json.loads(path.read_text())
+            except ValueError:
+                problems.append(f"{name} is not valid JSON (torn write?)")
+                continue
+            if record is not None and (checksum_payload(payload)
+                                       != checksum_payload(expected[name])):
+                problems.append(f"{name} does not match the last journal "
+                                f"checkpoint")
+        if record is not None:
+            entries_dir = self.root / "entries"
+            for entry_id in record["entries"]:
+                if not (entries_dir / f"{entry_id}.json").exists():
+                    problems.append(f"admitted entry {entry_id} has no file")
+        return problems
+
+    def repair(self) -> dict:
+        """Roll the directory back to its last valid journaled state.
+
+        Truncates a torn journal tail, deletes stale ``*.tmp`` files, and
+        rewrites the state files from the last checkpoint.  Returns a
+        summary dict (what was truncated/removed/restored).  Raises
+        :class:`CorruptCorpusError` only when an *admitted* entry file is
+        gone — that state is unrecoverable without re-running the campaign.
+        """
+        summary = {"journal_records": 0, "journal_truncated": False,
+                   "tmp_removed": [], "state_restored": False}
+        if self.root is None or not self.root.is_dir():
+            return summary
+        journal = self.journal()
+        replay = journal.truncate_to_valid()
+        summary["journal_records"] = len(replay.records)
+        summary["journal_truncated"] = replay.torn
+        summary["tmp_removed"] = self.clean_stale_tmp()
+        if replay.last is not None:
+            missing = [entry_id for entry_id in replay.last["entries"]
+                       if not (self.root / "entries"
+                               / f"{entry_id}.json").exists()]
+            if missing:
+                raise CorruptCorpusError(
+                    self.root, f"admitted entries lost: {', '.join(missing)}")
+            self.restore_checkpoint(replay.last)
+            summary["state_restored"] = True
+        else:
+            # No committed record at all: everything on disk is uncommitted.
+            summary["tmp_removed"] += self.rollback_uncommitted()
+        return summary

@@ -148,6 +148,23 @@ def place_signals(monitor: Monitor, invariant: Expr,
     )
 
 
+def _proved(triple: HoareTriple, solver: Solver) -> bool:
+    """``check_triple`` with degradation accounting.
+
+    An UNKNOWN verdict already falls on the sound side everywhere in
+    Algorithm 1 — an unproven triple keeps the notification, makes it
+    conditional, or forces a broadcast, so a degraded solver can only
+    over-signal, never lose a wakeup.  This wrapper surfaces each such
+    degradation as ``degraded.placement`` plus a trace instant.
+    """
+    ok = check_triple(triple, solver)
+    if not ok and solver.consume_unknown() is not None:
+        obs.registry().inc("degraded.placement")
+        obs.tracer().instant("degraded.placement", cat="smt",
+                             triple=triple.purpose)
+    return ok
+
+
 def _decide(monitor: Monitor, method: MethodDecl, ccr: CCR, predicate: Expr,
             invariant: Expr, solver: Solver, use_commutativity: bool,
             commutes) -> PlacementDecision:
@@ -162,7 +179,7 @@ def _decide(monitor: Monitor, method: MethodDecl, ccr: CCR, predicate: Expr,
     no_signal = HoareTriple(pre, ccr.body, build.lnot(other_p),
                             purpose=f"{ccr.label} cannot wake {_short(predicate)}")
     checked.append(no_signal)
-    if check_triple(no_signal, solver):
+    if _proved(no_signal, solver):
         return PlacementDecision(ccr.label, predicate, needs_notification=False,
                                  checked_triples=tuple(checked))
 
@@ -170,7 +187,7 @@ def _decide(monitor: Monitor, method: MethodDecl, ccr: CCR, predicate: Expr,
     unconditional = HoareTriple(pre, ccr.body, other_p,
                                 purpose=f"{ccr.label} guarantees {_short(predicate)}")
     checked.append(unconditional)
-    conditional = not check_triple(unconditional, solver)
+    conditional = not _proved(unconditional, solver)
 
     # Lines 13-16 (+ §4.3): signal one thread or broadcast to all?
     # The woken thread executes the waiter's body; the postcondition talks about
@@ -183,7 +200,7 @@ def _decide(monitor: Monitor, method: MethodDecl, ccr: CCR, predicate: Expr,
                              build.lnot(other_p),
                              purpose=f"{waiter.label} consumes {_short(predicate)}")
         checked.append(single)
-        if check_triple(single, solver):
+        if _proved(single, solver):
             continue
         if use_commutativity and commutes(waiter):
             # Equation 2: prove that running the signalling body followed by the
@@ -200,7 +217,7 @@ def _decide(monitor: Monitor, method: MethodDecl, ccr: CCR, predicate: Expr,
                 purpose=f"{ccr.label};{waiter.label} consumes {_short(predicate)} (Eq. 2)",
             )
             checked.append(composed)
-            if check_triple(composed, solver):
+            if _proved(composed, solver):
                 used_comm = True
                 continue
         broadcast = True

@@ -115,19 +115,27 @@ class ExpressoPipeline:
         missing-signal cross-check re-asks placement's own omission triples,
         which the formula cache answers for free; disable for benchmarking
         the bare synthesis path.  Lint never changes the produced artifacts.
+    smt_timeout:
+        Per-query wall-clock budget (seconds) for the per-compile solvers
+        (ignored when *solver* is given, which carries its own).  Exhausting
+        the budget yields UNKNOWN and every analysis degrades in its sound
+        direction (see ``README.md#robustness--resume``), so a timeout can
+        change results — it participates in :meth:`config_key`.
     """
 
     def __init__(self, use_commutativity: bool = True, infer_invariant: bool = True,
                  extra_invariant_candidates: Sequence[Expr] = (),
                  solver: Optional[Solver] = None,
                  cache: Optional[FormulaCache] = None,
-                 lint: bool = True):
+                 lint: bool = True,
+                 smt_timeout: Optional[float] = None):
         self.use_commutativity = use_commutativity
         self.infer_invariant = infer_invariant
         self.extra_invariant_candidates = tuple(extra_invariant_candidates)
         self._solver = solver
         self._cache = cache
         self.lint = lint
+        self.smt_timeout = smt_timeout
 
     def config_key(self) -> Tuple:
         """A hashable key identifying the *semantic* pipeline configuration.
@@ -137,7 +145,7 @@ class ExpressoPipeline:
         (it changes speed, never results).  Used by the harness caches.
         """
         return (self.use_commutativity, self.infer_invariant,
-                self.extra_invariant_candidates, self.lint)
+                self.extra_invariant_candidates, self.lint, self.smt_timeout)
 
     def compile(self, source: Union[str, Monitor]) -> ExpressoResult:
         """Compile implicit-signal monitor source (or a parsed monitor)."""
@@ -146,7 +154,7 @@ class ExpressoPipeline:
         solver = self._solver
         if solver is None:
             cache = self._cache if self._cache is not None else FormulaCache()
-            solver = Solver(cache=cache)
+            solver = Solver(cache=cache, timeout_seconds=self.smt_timeout)
         stats_before = solver.snapshot_statistics()
         phases: Dict[str, float] = {}
 

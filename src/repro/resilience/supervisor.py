@@ -1,0 +1,281 @@
+"""Worker supervision: deadlines, hang detection, retry, quarantine.
+
+``ProcessPoolExecutor`` has a brutal failure mode: one worker dying (OOM
+kill, segfault, injected ``os._exit``) breaks the *pool* — every pending
+future raises ``BrokenProcessPool`` and a naive ``pool.map`` campaign loses
+all completed work.  :func:`run_supervised` turns process failures into
+per-job events:
+
+1. **optimistic phase** — jobs run in waves of ``workers`` on one pool;
+   completed results are kept whatever happens later;
+2. **blame isolation** — jobs that failed with a *pool-level* error (broken
+   pool, deadline expiry) cannot be attributed exactly while concurrent, so
+   they are retried **serially**, one job per fresh pool: the job that
+   breaks its own private pool is the poison one;
+3. **bounded retry with exponential backoff** — each failed job is retried
+   up to ``max_attempts`` times (sleep ``backoff_seconds * 2**attempt``
+   between attempts, injectable for tests);
+4. **quarantine** — a job still failing after its attempts is returned as
+   :class:`JobFailure` (with the offending job dict and error) instead of
+   aborting the campaign.
+
+Hang detection: with ``deadline_seconds`` set, a wave that has not finished
+by its deadline is abandoned — the pool is shut down, its processes
+terminated, and the unfinished jobs treated as failed attempts.  A hung SMT
+query or a livelocked worker thus costs one deadline, not the campaign.
+
+Supervised workers run under a **fault context**: the driver's installed
+:class:`~repro.resilience.faults.FaultPlan` is shipped to the worker and
+re-installed with the job's attempt number, so crash/hang rules armed for
+``attempt=0`` do not re-fire on the retry — which is exactly what lets a
+chaos campaign converge to the fault-free result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.resilience import faults
+
+
+@dataclass
+class SupervisorConfig:
+    """Supervision knobs (deterministic except for wall-clock deadlines)."""
+
+    workers: Optional[int] = None
+    #: Per-wave wall-clock budget; ``None`` disables hang detection.
+    deadline_seconds: Optional[float] = None
+    #: Total attempts per job before quarantine.
+    max_attempts: int = 3
+    #: Base of the exponential retry backoff (seconds).
+    backoff_seconds: float = 0.05
+    #: Injectable sleep, so tests assert backoff without waiting it out.
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+
+@dataclass
+class JobFailure:
+    """A job the supervisor gave up on — returned in place of its result."""
+
+    job: Any
+    error: str
+    attempts: int
+    quarantined: bool = False
+
+    def error_dict(self, **extra: Any) -> Dict[str, Any]:
+        """The failure as an outcome-shaped dict (campaign merge surface)."""
+        return {"error": f"worker: {self.error}",
+                "attempts": self.attempts,
+                "quarantined": self.quarantined, **extra}
+
+
+def _shipped_plan() -> Optional[dict]:
+    plan = faults.active_plan()
+    return plan.to_dict() if plan is not None else None
+
+
+def _supervised_entry(payload: dict) -> Any:
+    """Pool-process entry: install the fault context, then run the job."""
+    plan_spec = payload.get("fault_plan")
+    plan = faults.FaultPlan.from_dict(plan_spec) if plan_spec else None
+    if plan is not None:
+        plan.attempt = payload.get("attempt", 0)
+        os.environ[faults._IN_WORKER_ENV] = "1"
+    # Explicit install either way: fork-started workers inherit the driver's
+    # plan object, and driver-side rules must not fire in workers.
+    faults.install_plan(plan)
+    return payload["function"](payload["job"])
+
+
+def _run_local(function: Callable[[Any], Any], job: Any, attempt: int) -> Any:
+    """One in-process attempt under the job's fault-attempt context."""
+    plan = faults.active_plan()
+    if plan is None:
+        return function(job)
+    saved = plan.attempt
+    plan.attempt = attempt
+    try:
+        return function(job)
+    finally:
+        plan.attempt = saved
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool with a hung or dead worker without joining the hang."""
+    # Private attribute, but the only way to reap a genuinely hung worker:
+    # shutdown(wait=True) would block on it forever and shutdown(wait=False)
+    # would leak it past interpreter exit.
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _Pending:
+    __slots__ = ("index", "attempts", "errors")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.attempts = 0
+        self.errors: List[str] = []
+
+
+def run_supervised(function: Callable[[Any], Any], jobs: Sequence[Any],
+                   config: Optional[SupervisorConfig] = None) -> List[Any]:
+    """Map *function* over *jobs* with supervision; order-preserving.
+
+    Returns one entry per job: the function's result, or a
+    :class:`JobFailure` for jobs that exhausted their attempts.  Failures
+    never cost sibling jobs their completed results.
+    """
+    config = config or SupervisorConfig()
+    jobs = list(jobs)
+    workers = config.workers or (os.cpu_count() or 2)
+    results: List[Any] = [None] * len(jobs)
+    done: List[bool] = [False] * len(jobs)
+    pending = [_Pending(index) for index in range(len(jobs))]
+
+    if workers <= 1 or len(jobs) <= 1:
+        return _run_supervised_local(function, jobs, pending, results, config)
+
+    plan_spec = _shipped_plan()
+
+    def payload(item: _Pending) -> dict:
+        return {"function": function, "job": jobs[item.index],
+                "attempt": item.attempts, "fault_plan": plan_spec}
+
+    # -- phase 1: optimistic waves on one shared pool -------------------------
+    suspects: List[_Pending] = []
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+    pool_broken = False
+    try:
+        for start in range(0, len(pending), workers):
+            if pool_broken:
+                suspects.extend(pending[start:])
+                break
+            wave = pending[start:start + workers]
+            futures = {pool.submit(_supervised_entry, payload(item)): item
+                       for item in wave}
+            deadline = (time.monotonic() + config.deadline_seconds
+                        if config.deadline_seconds is not None else None)
+            not_done = set(futures)
+            while not_done:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(deadline - time.monotonic(), 0.0)
+                finished, not_done = wait(not_done, timeout=timeout,
+                                          return_when=FIRST_COMPLETED)
+                for future in finished:
+                    item = futures[future]
+                    try:
+                        results[item.index] = future.result()
+                        done[item.index] = True
+                    except BrokenProcessPool:
+                        item.errors.append("process pool broken "
+                                           "(worker died)")
+                        item.attempts += 1
+                        suspects.append(item)
+                        pool_broken = True
+                    except Exception as exc:
+                        item.errors.append(f"{type(exc).__name__}: {exc}")
+                        item.attempts += 1
+                        suspects.append(item)
+                if pool_broken:
+                    for future in not_done:
+                        item = futures[future]
+                        item.errors.append("process pool broken (sibling "
+                                           "worker died)")
+                        item.attempts += 1
+                        suspects.append(item)
+                    break
+                if not finished and not_done:
+                    # Deadline expired with workers still running: hang.
+                    for future in not_done:
+                        item = futures[future]
+                        item.errors.append(
+                            f"deadline ({config.deadline_seconds}s) expired")
+                        item.attempts += 1
+                        suspects.append(item)
+                    pool_broken = True
+                    break
+    finally:
+        if pool_broken:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+
+    # -- phase 2: serial blame isolation with bounded retry -------------------
+    for item in sorted(suspects, key=lambda item: item.index):
+        quarantined = False
+        while not done[item.index] and item.attempts < config.max_attempts:
+            config.sleep(config.backoff_seconds * (2 ** (item.attempts - 1)))
+            solo = ProcessPoolExecutor(max_workers=1)
+            solo_broken = False
+            try:
+                future = solo.submit(_supervised_entry, payload(item))
+                try:
+                    result = future.result(timeout=config.deadline_seconds)
+                    results[item.index] = result
+                    done[item.index] = True
+                except BrokenProcessPool:
+                    item.errors.append("worker died (isolated retry)")
+                    item.attempts += 1
+                    quarantined = True
+                    solo_broken = True
+                except FuturesTimeout:
+                    item.errors.append(
+                        f"hung past deadline ({config.deadline_seconds}s, "
+                        f"isolated retry)")
+                    item.attempts += 1
+                    quarantined = True
+                    solo_broken = True
+                except Exception as exc:
+                    item.errors.append(f"{type(exc).__name__}: {exc}")
+                    item.attempts += 1
+            finally:
+                if solo_broken:
+                    _terminate_pool(solo)
+                else:
+                    solo.shutdown(wait=True)
+        if not done[item.index]:
+            results[item.index] = JobFailure(
+                job=jobs[item.index], error="; ".join(item.errors),
+                attempts=item.attempts, quarantined=quarantined)
+            done[item.index] = True
+    return results
+
+
+def _run_supervised_local(function: Callable[[Any], Any], jobs: List[Any],
+                          pending: List[_Pending], results: List[Any],
+                          config: SupervisorConfig) -> List[Any]:
+    """The in-process path: same retry/quarantine contract, no deadlines.
+
+    (A hang cannot be pre-empted in-process; callers wanting hang detection
+    must run with ``workers >= 2``.  Injected crashes are ``BaseException``
+    and propagate — in-process, a crash *is* a driver crash.)
+    """
+    for item in pending:
+        while item.attempts < config.max_attempts:
+            if item.attempts > 0:
+                config.sleep(config.backoff_seconds
+                             * (2 ** (item.attempts - 1)))
+            try:
+                results[item.index] = _run_local(function, jobs[item.index],
+                                                 item.attempts)
+                break
+            except Exception as exc:
+                item.errors.append(f"{type(exc).__name__}: {exc}")
+                item.attempts += 1
+        else:
+            results[item.index] = JobFailure(
+                job=jobs[item.index], error="; ".join(item.errors),
+                attempts=item.attempts)
+    return results

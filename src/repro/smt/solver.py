@@ -28,6 +28,12 @@ compilation pipeline:
 
 Unknown results (budget exhaustion) are reported explicitly so that callers
 can degrade conservatively; they never occur on the pipeline's own VCs.
+Besides the iteration budget, ``timeout_seconds`` imposes a per-query
+wall-clock budget on the DPLL(T) loop: a pathological query then costs one
+UNKNOWN (counted under ``smt.timeouts``/``smt.unknown`` and flagged via
+:meth:`Solver.consume_unknown`) instead of hanging the pipeline.  The
+``solver.query`` fault site lets tests inject that outcome
+deterministically.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from repro.smt.cache import CachedResult, FormulaCache
 from repro.smt.cnf import AtomTable, encode
 from repro.smt.intfeas import IntegerFeasibilityUnknown, integer_feasible
 from repro.smt.linear import Constraint
+from repro.resilience.faults import fault_check
 from repro.smt.preprocess import atom_constraint, preprocess
 from repro.smt.sat import SatSolver
 from repro.smt.simplex import rational_feasible, rational_infeasible_subset
@@ -102,9 +109,17 @@ class Solver:
 
     def __init__(self, max_theory_iterations: int = 2000,
                  cache: Optional[FormulaCache] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 timeout_seconds: Optional[float] = None):
         self.max_theory_iterations = max_theory_iterations
+        self.timeout_seconds = timeout_seconds
         self.cache = cache
+        #: Reason the most recent query returned UNKNOWN (``"timeout"``,
+        #: ``"iterations"``, ``"theory"``, ``"injected"``) — ``None`` after
+        #: a decided query.  Callers that only see a boolean surface
+        #: (:meth:`check_valid`) read it via :meth:`consume_unknown` to
+        #: drive their degradation paths.
+        self.last_unknown: Optional[str] = None
         # The counters live in a (per-solver by default, injectable) metrics
         # registry under hierarchical names; ``statistics`` is the legacy
         # flat-dict view over the same storage, so both surfaces agree.
@@ -142,9 +157,14 @@ class Solver:
 
     def _check_sat(self, formula: Expr) -> SatResult:
         self.statistics["sat_queries"] += 1
+        self.last_unknown = None
         if _contains_quantifier(formula):
             raise SolverError("check_sat expects a quantifier-free formula; "
                               "use repro.smt.qe to eliminate quantifiers first")
+        if fault_check("solver.query") == "unknown":
+            # Injected budget expiry: behaves exactly like a wall-clock
+            # timeout (uncached, counted, flagged), but deterministically.
+            return self._unknown("injected")
         if self.cache is not None:
             entry = self.cache.lookup_raw(formula)
             if entry is not None:
@@ -161,6 +181,28 @@ class Solver:
         if self.cache is not None and entry is not None:
             self.cache.store(formula, processed, entry)
         return result
+
+    def _unknown(self, reason: str) -> SatResult:
+        """Account one UNKNOWN outcome (never cached: budgets are not
+        semantic verdicts, and a later, larger-budget query must re-try)."""
+        self.last_unknown = reason
+        self.statistics["unknowns"] += 1
+        if reason in ("timeout", "injected"):
+            self.statistics["timeouts"] += 1
+        obs.tracer().instant("smt.unknown", cat="smt", reason=reason)
+        return SatResult(SatStatus.UNKNOWN)
+
+    def consume_unknown(self) -> Optional[str]:
+        """Return-and-clear the last query's UNKNOWN reason.
+
+        The degradation idiom for boolean surfaces::
+
+            proved = solver.check_valid(vc)
+            if not proved and solver.consume_unknown():
+                ...  # degraded, not refuted: take the conservative branch
+        """
+        reason, self.last_unknown = self.last_unknown, None
+        return reason
 
     def check_valid(self, formula: Expr) -> bool:
         """Return True iff *formula* is valid (its negation is unsatisfiable).
@@ -221,7 +263,11 @@ class Solver:
             if all(abs(literal) in atom_ids for literal in lemma)
         )
 
+        deadline = (time.monotonic() + self.timeout_seconds
+                    if self.timeout_seconds is not None else None)
         for _ in range(self.max_theory_iterations):
+            if deadline is not None and time.monotonic() > deadline:
+                return self._unknown("timeout"), None
             assignment = sat_solver.solve()
             if assignment is None:
                 return SatResult(SatStatus.UNSAT), CachedResult(False)
@@ -239,7 +285,7 @@ class Solver:
             try:
                 theory_model = self._theory_feasible([c for _, c in constraints])
             except IntegerFeasibilityUnknown:
-                return SatResult(SatStatus.UNKNOWN), None
+                return self._unknown("theory"), None
             if theory_model is not None:
                 model = _build_model(formula, theory_model, bool_values)
                 return SatResult(SatStatus.SAT, model), \
@@ -251,7 +297,7 @@ class Solver:
                 del self._theory_lemmas[:_LEMMA_LIMIT // 2]
             self._theory_lemmas.append(lemma)
             self.statistics["theory_lemmas"] += 1
-        return SatResult(SatStatus.UNKNOWN), None
+        return self._unknown("iterations"), None
 
     def _theory_feasible(
         self, constraints: List[Constraint]
