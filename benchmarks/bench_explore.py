@@ -158,9 +158,12 @@ def _measure_reduction(suite, threads, ops, budget) -> dict:
 
 def _measure_shared_store(suite, threads, ops, budget, workers) -> dict:
     """Sharded DFS campaigns: private shard memos vs the shared cross-worker
-    visited-state store.  Both sides run the full semantic configuration —
-    the only varied knob is ``share_states``, so the ratio isolates the
-    store's own contribution (not semantic POR's)."""
+    visited-state store (a SQLite-WAL ``CampaignStore`` in a temp dir —
+    the same completion-gated ``VisitedStore`` a ``--store`` campaign
+    uses, so the measured overhead includes the real on-disk round trip).
+    Both sides run the full semantic configuration — the only varied knob
+    is ``share_states``, so the ratio isolates the store's own
+    contribution (not semantic POR's)."""
     from repro.explore.parallel import parallel_explore_class
 
     rows = []

@@ -94,6 +94,63 @@ def _add_resilience_args(cmd: argparse.ArgumentParser) -> None:
                           "see README 'Robustness & resume')")
 
 
+def _add_distrib_args(cmd: argparse.ArgumentParser) -> None:
+    """Shared-store (distributed campaign fabric) flags for explore/fuzz."""
+    cmd.add_argument("--store", metavar="PATH", default=None,
+                     help="shared on-disk campaign store (SQLite WAL): pool "
+                          "workers and other expresso invocations pointed at "
+                          "PATH cooperate through its lease-based "
+                          "work-stealing queue")
+    cmd.add_argument("--lease-ttl", type=_positive_float, default=30.0,
+                     metavar="SECONDS",
+                     help="work-unit lease TTL: a unit whose lease expires "
+                          "(crashed or hung worker) becomes claimable by a "
+                          "sibling, with bounded attempts (default: 30)")
+    cmd.add_argument("--heartbeat-interval", type=_positive_float,
+                     default=5.0, metavar="SECONDS",
+                     help="lease renewal period; the TTL must exceed twice "
+                          "the heartbeat (default: 5)")
+    cmd.add_argument("--helper", action="store_true",
+                     help="run as a cooperating worker against --store: "
+                          "claim and evaluate work units until the driving "
+                          "invocation finishes (no local artifacts)")
+    cmd.add_argument("--helper-wait", type=_positive_float, default=30.0,
+                     metavar="SECONDS",
+                     help="how long --helper waits for the store (and the "
+                          "driver's liveness window) to appear "
+                          "(default: 30)")
+
+
+def _distrib_from_args(args):
+    """Build the DistribConfig from CLI flags; ``(config, exit_code)``."""
+    from repro.distrib import DistribConfig
+
+    if args.helper and not args.store:
+        print("error: --helper needs --store (the shared campaign store to "
+              "work)", file=sys.stderr)
+        return None, 2
+    if args.store is None:
+        return None, None
+    try:
+        return DistribConfig(store_path=args.store,
+                             lease_ttl=args.lease_ttl,
+                             heartbeat_interval=args.heartbeat_interval), None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _run_helper_mode(args, distrib) -> int:
+    """`--helper`: work the shared store until the driver finishes."""
+    from repro.distrib import run_helper
+
+    completed = run_helper(args.store, distrib,
+                           wait_for_store=args.helper_wait)
+    print(f"helper finished: {completed} unit(s) completed",
+          file=sys.stderr)
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="expresso",
@@ -210,6 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument("--json", action="store_true",
                              help="emit machine-readable JSON instead of text")
     _add_resilience_args(explore_cmd)
+    _add_distrib_args(explore_cmd)
 
     fuzz_cmd = sub.add_parser(
         "fuzz", help="coverage-guided fuzzing campaign over generated monitors")
@@ -256,6 +314,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of text")
     _add_resilience_args(fuzz_cmd)
+    _add_distrib_args(fuzz_cmd)
 
     mutate_cmd = sub.add_parser(
         "mutate", help="drop every placed notification; each must be caught")
@@ -535,18 +594,31 @@ def _cmd_explore(args) -> int:
               file=sys.stderr)
         return 2
 
-    if args.resume and not args.state_dir:
-        print("error: --resume needs --state-dir (the journal to continue "
-              "from)", file=sys.stderr)
+    if args.resume and not (args.state_dir or args.store):
+        print("error: --resume needs --state-dir or --store (the campaign "
+              "state to continue from)", file=sys.stderr)
         return 2
     if args.state_dir and (args.fuzz is not None or args.replay or args.trace):
         print("error: --state-dir checkpoints registry-benchmark campaigns; "
               "it cannot be combined with --fuzz, --replay or --trace",
               file=sys.stderr)
         return 2
+    if args.store and args.state_dir:
+        print("error: --store and --state-dir are alternative campaign "
+              "persistence mechanisms; pick one", file=sys.stderr)
+        return 2
+    if args.store and (args.fuzz is not None or args.replay):
+        print("error: --store drives registry-benchmark campaigns; it "
+              "cannot be combined with --fuzz or --replay", file=sys.stderr)
+        return 2
     failed = _install_fault_plan(args)
     if failed is not None:
         return failed
+    distrib, failed = _distrib_from_args(args)
+    if failed is not None:
+        return failed
+    if args.helper:
+        return _run_helper_mode(args, distrib)
     supervisor = _supervisor_from_args(args)
 
     if args.fuzz is not None:
@@ -582,21 +654,39 @@ def _cmd_explore(args) -> int:
 
     # --state-dir: journal one record per finished benchmark so a killed
     # campaign continues from the last completed benchmark under --resume.
+    # --store does the same through the shared store's frontier table (one
+    # record per benchmark, keyed by the config fingerprint) — and
+    # additionally dispatches shards through its work-stealing queue.
     journal = None
     completed: dict = {}
+    fingerprint = {
+        "benchmarks": [spec.name for spec in specs],
+        "discipline": args.discipline, "strategy": args.strategy,
+        "schedules": args.schedules, "threads": args.threads,
+        "ops": args.ops, "seed": args.seed, "max_steps": args.max_steps,
+        "keep_going": args.keep_going, "por": args.por,
+        "semantic": args.semantic, "symmetry": args.symmetry,
+        "witness": args.witness,
+    }
+    cstore = None
+    frontier_prefix = None
+    if args.store:
+        from repro.distrib import CampaignStore, mark_active
+        from repro.explore.engine import ExplorationResult
+        from repro.resilience import checksum_payload
+
+        cstore = CampaignStore(args.store)
+        frontier_prefix = f"explore/{checksum_payload(fingerprint)[:12]}"
+        if args.resume:
+            for spec in specs:
+                record = cstore.get_frontier(f"{frontier_prefix}/{spec.name}")
+                if record is not None:
+                    completed[spec.name] = record
+        mark_active(cstore, distrib)
     if args.state_dir:
         from repro.explore.engine import ExplorationResult
         from repro.resilience import Journal
 
-        fingerprint = {
-            "benchmarks": [spec.name for spec in specs],
-            "discipline": args.discipline, "strategy": args.strategy,
-            "schedules": args.schedules, "threads": args.threads,
-            "ops": args.ops, "seed": args.seed, "max_steps": args.max_steps,
-            "keep_going": args.keep_going, "por": args.por,
-            "semantic": args.semantic, "symmetry": args.symmetry,
-            "witness": args.witness,
-        }
         state_dir = Path(args.state_dir)
         state_dir.mkdir(parents=True, exist_ok=True)
         journal_path = state_dir / "explore.jsonl"
@@ -624,17 +714,20 @@ def _cmd_explore(args) -> int:
         if spec.name in completed:
             results.append(ExplorationResult.from_dict(completed[spec.name]))
             continue
-        if args.workers > 1 or args.trace:
+        if cstore is not None or args.workers > 1 or args.trace:
             # Traced runs always go through the parallel driver: its
             # sequential fallback records into the same shard surface, so
             # the emitted artifact is byte-identical across worker counts.
+            # Shared-store runs do too: shards dispatch through the store's
+            # work-stealing queue whatever the local worker count.
             results.append(parallel_explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
                 strategy=args.strategy, budget=args.schedules, seed=args.seed,
                 max_steps=args.max_steps, stop_on_failure=not args.keep_going,
                 por=args.por, semantic=args.semantic, symmetry=args.symmetry,
                 witness=args.witness, trace=bool(args.trace),
-                workers=args.workers, supervisor=supervisor))
+                workers=args.workers, supervisor=supervisor,
+                store=cstore, distrib=distrib))
         else:
             results.append(explore_benchmark(
                 spec, args.discipline, threads=args.threads, ops=args.ops,
@@ -645,6 +738,12 @@ def _cmd_explore(args) -> int:
         if journal is not None:
             journal.append({"type": "benchmark", "name": spec.name,
                             "result": results[-1].to_dict()})
+        if cstore is not None:
+            from repro.distrib import mark_active
+
+            cstore.set_frontier(f"{frontier_prefix}/{spec.name}",
+                                results[-1].to_dict())
+            mark_active(cstore, distrib)   # refresh the liveness window
     if args.trace:
         from repro import obs
 
@@ -657,12 +756,29 @@ def _cmd_explore(args) -> int:
         obs.write_trace(args.trace, shards, registry.snapshot())
         if not args.json:
             print(f"trace written to {args.trace}", file=sys.stderr)
+    distrib_counters = None
+    if cstore is not None:
+        from repro.distrib import mark_finished
+
+        distrib_counters = cstore.counters()
+        mark_finished(cstore)
+        cstore.close()
     ok = all(result.ok for result in results)
     if args.json:
-        print(json.dumps({"results": [result.to_dict() for result in results],
-                          "ok": ok}, indent=2))
+        payload = {"results": [result.to_dict() for result in results],
+                   "ok": ok}
+        if distrib_counters is not None:
+            payload["distrib"] = {name: int(value) for name, value in
+                                  sorted(distrib_counters.items())}
+        print(json.dumps(payload, indent=2))
         return 0 if ok else 1
     print(render_explore_table(results))
+    if distrib_counters:
+        leases = ", ".join(f"{name.split('.')[-1]}={value}" for name, value
+                           in sorted(distrib_counters.items())
+                           if name.startswith("distrib.lease."))
+        if leases:
+            print(f"(store leases: {leases})", file=sys.stderr)
     for result in results:
         for failure in result.failures:
             print(f"\n{result.benchmark}/{result.discipline}: "
@@ -688,6 +804,11 @@ def _cmd_fuzz(args) -> int:
     failed = _install_fault_plan(args)
     if failed is not None:
         return failed
+    distrib, failed = _distrib_from_args(args)
+    if failed is not None:
+        return failed
+    if args.helper:
+        return _run_helper_mode(args, distrib)
     if (args.resume or args.repair) and not args.corpus_dir:
         print("error: --resume/--repair need --corpus-dir (the campaign "
               "state to continue from)", file=sys.stderr)
@@ -702,10 +823,31 @@ def _cmd_fuzz(args) -> int:
             return 2
         truncated = "truncated torn tail" if summary["journal_truncated"] \
             else "journal intact"
+        restored = summary.get("entries_restored") or []
+        rolled = (f", {len(restored)} admitted entry file(s) rolled "
+                  f"forward from the journal" if restored else "")
         print(f"repaired {args.corpus_dir}: {summary['journal_records']} "
               f"journal record(s) kept ({truncated}), "
-              f"{len(summary['tmp_removed'])} stale tmp file(s) removed",
+              f"{len(summary['tmp_removed'])} stale tmp file(s) removed"
+              f"{rolled}",
               file=sys.stderr)
+        if args.store:
+            # The shared store gets the same treatment: every row carries a
+            # content checksum, so corruption is detected and dropped (a
+            # corrupt unit result merely re-runs that unit).
+            from repro.distrib import CampaignStore
+
+            cstore = CampaignStore(args.store)
+            problems = cstore.verify()
+            if problems:
+                fixed = cstore.repair()
+                print(f"store {args.store}: dropped "
+                      f"{fixed['rows_dropped']} corrupt row(s) "
+                      f"({len(fixed['problems'])} problem(s) found)",
+                      file=sys.stderr)
+            else:
+                print(f"store {args.store}: verified clean", file=sys.stderr)
+            cstore.close()
     config = FuzzConfig(
         seed=args.seed, budget=args.budget,
         per_run_budget=args.per_run_budget, threads=args.threads,
@@ -713,10 +855,12 @@ def _cmd_fuzz(args) -> int:
         max_findings=args.max_findings, workers=args.workers,
         strategy=args.strategy, max_steps=args.max_steps,
         trace=bool(args.trace), resume=args.resume or args.repair,
-        supervisor=_supervisor_from_args(args))
+        supervisor=_supervisor_from_args(args), distrib=distrib)
+    from repro.distrib import StoreMismatchError
+
     try:
         result = run_campaign(config, store)
-    except CorruptCorpusError as exc:
+    except (CorruptCorpusError, StoreMismatchError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.trace:
@@ -844,7 +988,8 @@ def _cmd_profile(args) -> int:
         }, indent=2))
         return 0
     print(render_profile_table(profiler, phases, wall_seconds=wall,
-                               top=args.top))
+                               top=args.top,
+                               metrics=session.registry.snapshot()))
     print(f"span coverage: {span_seconds:.3f}s of {wall:.3f}s wall "
           f"({coverage:.1%}) across {len(compiles)} compile(s)")
     return 0

@@ -1,0 +1,492 @@
+"""Lease-based work stealing over the campaign store (``units`` table).
+
+A **work unit** is one pickled ``(function, job)`` pair with a
+deterministic id (``<batch>/<slot>``); *batches* are a campaign's natural
+barriers (the fuzz bootstrap, each mutation round, an explore shard set).
+The protocol:
+
+* :meth:`WorkQueue.claim` — atomically take the first claimable unit in id
+  order: ``pending``, or ``leased`` past its expiry (the previous owner
+  crashed or hung — the claim *steals* it).  Claiming bumps the unit's
+  attempt counter; a unit that has burned ``max_attempts`` leases is
+  **quarantined** instead of handed out again — it becomes an error record
+  (:class:`~repro.resilience.JobFailure` at merge time, mirroring the
+  supervisor's poison-job semantics), never a livelock.
+* :meth:`WorkQueue.renew` — heartbeat: the owner extends its lease every
+  ``heartbeat_interval`` while evaluating.  A worker that stops heartbeating
+  loses the unit after ``lease_ttl``.
+* :meth:`WorkQueue.complete` — store the pickled result *iff* the caller
+  still owns the lease; a stale owner's late result is discarded (the
+  stealer's result — byte-identical, evaluation is deterministic — wins).
+
+:func:`queue_map` is the drop-in, order-preserving replacement for
+:func:`repro.explore.parallel.map_jobs` when a store is configured: results
+come back in job order whatever processes did the work, so campaign merges
+stay deterministic.  The driver enqueues, fans out pool workers, and then
+*participates*: once its pool drains (or breaks), it claims leftovers
+in-process, so a campaign always terminates even if every worker dies.
+:func:`run_helper` is the same worker loop for a *separate invocation*
+pointed at the shared store — how multiple processes cooperate on one
+campaign.
+
+Fault sites: ``store.write`` fires with token ``claim:<unit id>`` right
+after a lease commits (killing there models a worker dying at the lease
+boundary — the unit returns via TTL expiry), ``lease.renew`` and
+``worker.heartbeat`` fire in the renewal path (token = unit id).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.distrib.store import CampaignStore
+from repro.resilience import JobFailure
+from repro.resilience import faults
+from repro.resilience.atomic import checksum_text
+from repro.resilience.faults import fault_check
+from repro.resilience.supervisor import _terminate_pool
+
+
+@dataclass
+class DistribConfig:
+    """Shared-store campaign knobs (``--store/--lease-ttl/--heartbeat-interval``)."""
+
+    store_path: Optional[str] = None
+    lease_ttl: float = 30.0
+    heartbeat_interval: float = 5.0
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 2 * self.heartbeat_interval:
+            raise ValueError(
+                f"--lease-ttl ({self.lease_ttl}s) must exceed twice the "
+                f"--heartbeat-interval ({self.heartbeat_interval}s): a "
+                f"healthy worker must get at least two renewal chances "
+                f"before its lease can be stolen")
+
+    @property
+    def poll_interval(self) -> float:
+        return min(max(self.heartbeat_interval / 2, 0.02), 1.0)
+
+
+@dataclass
+class Claim:
+    """One leased work unit (attempt is 0-based: prior lease count)."""
+
+    unit_id: str
+    payload: bytes
+    attempt: int
+
+
+def _obs_inc(name: str, delta: int = 1) -> None:
+    from repro import obs
+
+    obs.registry().inc(name, delta)
+
+
+def _set_plan_attempt(attempt: int) -> Optional[int]:
+    plan = faults.active_plan()
+    if plan is None:
+        return None
+    previous = plan.attempt
+    plan.attempt = attempt
+    return previous
+
+
+class WorkQueue:
+    """The work-stealing unit queue over one :class:`CampaignStore`."""
+
+    def __init__(self, store: CampaignStore, config: DistribConfig):
+        self.store = store
+        self.config = config
+
+    # -- enqueue --------------------------------------------------------------
+
+    def enqueue(self, batch: str, payloads: Sequence[bytes],
+                keys: Optional[Sequence[str]] = None) -> List[str]:
+        """Idempotently insert one unit per payload; returns the unit ids.
+
+        ``INSERT OR IGNORE`` keys on the deterministic unit id
+        (``<batch>/<key>``; slot numbers by default), so a resumed driver
+        re-enqueueing a replayed round reuses completed units' stored
+        results instead of re-running them.  Callers whose job lists can
+        *shrink* across a resume (the fuzz driver skips already-admitted
+        entries) must pass stable per-job *keys* so ids never shift.
+        """
+        if keys is None:
+            keys = [f"{slot:05d}" for slot in range(len(payloads))]
+        unit_ids = [f"{batch}/{key}" for key in keys]
+        with self.store.transaction(f"enqueue:{batch}") as conn:
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT OR IGNORE INTO units (unit_id, batch, payload, sha) "
+                "VALUES (?, ?, ?, ?)",
+                [(unit_id, batch, payload, checksum_text(payload.hex()))
+                 for unit_id, payload in zip(unit_ids, payloads)])
+            added = conn.total_changes - before
+            if added:
+                self.store.inc_counter(conn, "distrib.units.enqueued", added)
+        return unit_ids
+
+    # -- the lease protocol ---------------------------------------------------
+
+    def claim(self, worker: str, batch: Optional[str] = None,
+              now: Optional[float] = None) -> Optional[Claim]:
+        """Atomically lease the first claimable unit (steal expired leases)."""
+        now = time.time() if now is None else now
+        claim: Optional[Claim] = None
+        with self.store.transaction("claim") as conn:
+            where = "WHERE status IN ('pending', 'leased')"
+            args: tuple = ()
+            if batch is not None:
+                where += " AND batch = ?"
+                args = (batch,)
+            rows = conn.execute(
+                f"SELECT unit_id, payload, status, owner, lease_expires, "
+                f"attempts, error FROM units {where} ORDER BY unit_id",
+                args).fetchall()
+            for row in rows:
+                stolen = row["status"] == "leased"
+                if stolen and row["lease_expires"] > now:
+                    continue           # live lease: someone is working on it
+                if stolen:
+                    self.store.inc_counter(conn, "distrib.lease.expired")
+                if row["attempts"] >= self.config.max_attempts:
+                    # This unit has burned its leases: poison, not livelock.
+                    conn.execute(
+                        "UPDATE units SET status = 'quarantined', "
+                        "owner = NULL, lease_expires = NULL, error = ? "
+                        "WHERE unit_id = ?",
+                        (f"{row['attempts']} attempt(s) exhausted without "
+                         f"a result" + (f"; {row['error']}" if row["error"]
+                                        else ""),
+                         row["unit_id"]))
+                    self.store.inc_counter(conn, "distrib.units.quarantined")
+                    continue
+                conn.execute(
+                    "UPDATE units SET status = 'leased', owner = ?, "
+                    "lease_expires = ?, attempts = attempts + 1 "
+                    "WHERE unit_id = ?",
+                    (worker, now + self.config.lease_ttl, row["unit_id"]))
+                self.store.inc_counter(conn, "distrib.lease.granted")
+                if stolen:
+                    self.store.inc_counter(conn, "distrib.lease.stolen")
+                claim = Claim(unit_id=row["unit_id"], payload=row["payload"],
+                              attempt=row["attempts"])
+                break
+        if claim is not None:
+            _obs_inc("distrib.lease.granted")
+            # The fault-plan attempt context tracks the unit's lease count,
+            # so crash rules armed for ``attempt=0`` kill only the first
+            # claimant — the steal then completes, which is what makes
+            # chaos campaigns converge to the fault-free result.
+            saved = _set_plan_attempt(claim.attempt)
+            try:
+                fault_check("store.write", token=f"claim:{claim.unit_id}")
+            finally:
+                if saved is not None:
+                    _set_plan_attempt(saved)
+        return claim
+
+    def renew(self, claim: Claim, worker: str,
+              now: Optional[float] = None) -> bool:
+        """Extend the lease; False when it was lost (stolen/completed)."""
+        fault_check("lease.renew", token=claim.unit_id)
+        now = time.time() if now is None else now
+        with self.store.transaction("renew") as conn:
+            cursor = conn.execute(
+                "UPDATE units SET lease_expires = ? WHERE unit_id = ? "
+                "AND owner = ? AND status = 'leased'",
+                (now + self.config.lease_ttl, claim.unit_id, worker))
+            renewed = cursor.rowcount > 0
+            if renewed:
+                self.store.inc_counter(conn, "distrib.lease.renewed")
+        if renewed:
+            _obs_inc("distrib.lease.renewed")
+        return renewed
+
+    def complete(self, claim: Claim, worker: str, result: Any) -> bool:
+        """Commit the unit's result iff the caller still holds the lease."""
+        payload = pickle.dumps(result)
+        with self.store.transaction("complete") as conn:
+            cursor = conn.execute(
+                "UPDATE units SET status = 'done', result = ?, "
+                "result_sha = ?, owner = NULL, lease_expires = NULL, "
+                "error = NULL WHERE unit_id = ? AND owner = ? "
+                "AND status = 'leased'",
+                (payload, checksum_text(payload.hex()), claim.unit_id,
+                 worker))
+            completed = cursor.rowcount > 0
+            if completed:
+                self.store.inc_counter(conn, "distrib.units.completed")
+        if completed:
+            _obs_inc("distrib.units.completed")
+        return completed
+
+    def release(self, claim: Claim, worker: str, error: str) -> None:
+        """Return a unit after a recoverable failure (attempt already paid)."""
+        with self.store.transaction("release") as conn:
+            cursor = conn.execute(
+                "UPDATE units SET status = 'pending', owner = NULL, "
+                "lease_expires = NULL, error = ? WHERE unit_id = ? "
+                "AND owner = ? AND status = 'leased'",
+                (error, claim.unit_id, worker))
+            if cursor.rowcount > 0:
+                self.store.inc_counter(conn, "distrib.units.failed")
+
+    # -- batch bookkeeping ----------------------------------------------------
+
+    def batch_remaining(self, batch: str) -> int:
+        """Units of *batch* not yet settled (pending or leased)."""
+        row = self.store._read("batch.remaining").execute(
+            "SELECT COUNT(*) AS n FROM units WHERE batch = ? "
+            "AND status IN ('pending', 'leased')", (batch,)).fetchone()
+        return row["n"]
+
+    def claimable(self, batch: Optional[str] = None,
+                  now: Optional[float] = None) -> int:
+        """Units claimable right now (pending, or leased past expiry)."""
+        now = time.time() if now is None else now
+        where = "WHERE (status = 'pending' OR (status = 'leased' AND " \
+                "lease_expires <= ?))"
+        args: tuple = (now,)
+        if batch is not None:
+            where += " AND batch = ?"
+            args += (batch,)
+        row = self.store._read("claimable").execute(
+            f"SELECT COUNT(*) AS n FROM units {where}", args).fetchone()
+        return row["n"]
+
+    def collect(self, batch: str, jobs: Sequence[Any],
+                unit_ids: Optional[Sequence[str]] = None) -> List[Any]:
+        """The batch's outcomes in job order.
+
+        Quarantined units come back as :class:`JobFailure` carrying the
+        original job — exactly the supervisor's merge surface.
+        """
+        if unit_ids is None:
+            unit_ids = [f"{batch}/{slot:05d}" for slot in range(len(jobs))]
+        rows = {row["unit_id"]: row for row in self.store._read(
+            f"collect:{batch}").execute(
+            "SELECT unit_id, status, result, attempts, error FROM units "
+            "WHERE batch = ?", (batch,)).fetchall()}
+        outcomes: List[Any] = []
+        for unit_id, job in zip(unit_ids, jobs):
+            row = rows.get(unit_id)
+            if row is not None and row["status"] == "done":
+                outcomes.append(pickle.loads(row["result"]))
+            elif row is not None:
+                outcomes.append(JobFailure(
+                    job=job, error=row["error"] or f"unit {row['unit_id']} "
+                    f"unresolved ({row['status']})",
+                    attempts=row["attempts"], quarantined=True))
+            else:
+                outcomes.append(JobFailure(
+                    job=job, error=f"unit {unit_id} missing from store",
+                    attempts=0, quarantined=True))
+        return outcomes
+
+
+class _Heartbeat(threading.Thread):
+    """Renew one claim's lease every ``heartbeat_interval`` until stopped."""
+
+    def __init__(self, queue: WorkQueue, claim: Claim, worker: str):
+        super().__init__(daemon=True)
+        self.queue = queue
+        self.claim = claim
+        self.worker = worker
+        self.stop = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        while not self.stop.wait(self.queue.config.heartbeat_interval):
+            try:
+                fault_check("worker.heartbeat", token=self.claim.unit_id)
+                if not self.queue.renew(self.claim, self.worker):
+                    self.lost = True   # lease stolen: stop renewing
+                    return
+            except Exception:
+                return                 # store unreachable: let the TTL decide
+
+
+def _evaluate_claim(queue: WorkQueue, claim: Claim, worker: str) -> None:
+    """Run one claimed unit under heartbeat renewal and commit its result."""
+    saved_attempt = _set_plan_attempt(claim.attempt)
+    heartbeat = _Heartbeat(queue, claim, worker)
+    heartbeat.start()
+    try:
+        spec = pickle.loads(claim.payload)
+        try:
+            result = spec["function"](spec["job"])
+        except faults.InjectedCrash:
+            raise
+        except Exception as exc:
+            heartbeat.stop.set()
+            queue.release(claim, worker,
+                          f"{type(exc).__name__}: {exc}")
+            return
+        heartbeat.stop.set()
+        queue.complete(claim, worker, result)
+    finally:
+        heartbeat.stop.set()
+        if saved_attempt is not None:
+            _set_plan_attempt(saved_attempt)
+
+
+def _worker_loop(queue: WorkQueue, worker: str, batch: Optional[str],
+                 active: Callable[[], bool]) -> int:
+    """Claim-evaluate-complete until nothing is left (or *active* is False).
+
+    Exits when the batch has no unsettled units — or, scoped to no batch
+    (helper mode), when *active* reports the campaign is over and nothing
+    is claimable.  Polls through live foreign leases: if their owner stops
+    heartbeating the next claim steals the unit, which is the liveness
+    guarantee.
+    """
+    completed = 0
+    while True:
+        claim = queue.claim(worker, batch=batch)
+        if claim is not None:
+            _evaluate_claim(queue, claim, worker)
+            completed += 1
+            continue
+        if batch is not None:
+            if queue.batch_remaining(batch) == 0:
+                return completed
+        elif not active() and queue.claimable() == 0:
+            return completed
+        time.sleep(queue.config.poll_interval)
+
+
+def _pool_worker(spec: dict) -> int:
+    """Pool-process entry for one queue worker (mirrors the supervisor's)."""
+    plan_spec = spec.get("fault_plan")
+    plan = faults.FaultPlan.from_dict(plan_spec) if plan_spec else None
+    if plan is not None:
+        os.environ[faults._IN_WORKER_ENV] = "1"
+    faults.install_plan(plan)
+    store = CampaignStore(spec["store_path"])
+    queue = WorkQueue(store, DistribConfig(
+        store_path=spec["store_path"], lease_ttl=spec["lease_ttl"],
+        heartbeat_interval=spec["heartbeat_interval"],
+        max_attempts=spec["max_attempts"]))
+    try:
+        return _worker_loop(queue, spec["worker"], spec["batch"],
+                            active=lambda: False)
+    finally:
+        store.close()
+
+
+def queue_map(function: Callable[[dict], Any], jobs: Sequence[dict],
+              store: CampaignStore, batch: str, config: DistribConfig,
+              workers: int = 1, keys: Optional[Sequence[str]] = None) -> List[Any]:
+    """Order-preserving map over *jobs* through the work-stealing queue.
+
+    The drop-in replacement for :func:`repro.explore.parallel.map_jobs`
+    when a campaign runs against a shared store: any process pointed at the
+    store — the pool workers spawned here, a cooperating ``expresso``
+    invocation, the driver itself — may evaluate any unit, and the batch
+    result is collected in unit-id order regardless, so merges stay
+    deterministic.  The driver participates once its pool drains or breaks
+    (every worker crashed): campaigns terminate as long as *one* process
+    survives, and a unit whose every lease dies is quarantined into a
+    :class:`JobFailure` in its slot.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    queue = WorkQueue(store, config)
+    driver = f"driver-{os.getpid()}"
+    unit_ids = queue.enqueue(
+        batch, [pickle.dumps({"function": function, "job": job})
+                for job in jobs], keys=keys)
+    futures = []
+    pool = None
+    if workers > 1 and len(jobs) > 1:
+        plan = faults.active_plan()
+        spec = {"store_path": str(store.path), "batch": batch,
+                "lease_ttl": config.lease_ttl,
+                "heartbeat_interval": config.heartbeat_interval,
+                "max_attempts": config.max_attempts,
+                "fault_plan": plan.to_dict() if plan is not None else None}
+        store.close()                  # no SQLite handle across the fork
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+        futures = [pool.submit(_pool_worker,
+                               {**spec, "worker": f"pool-{os.getpid()}-{i}"})
+                   for i in range(min(workers, len(jobs)))]
+    try:
+        while queue.batch_remaining(batch) > 0:
+            alive = [future for future in futures if not future.done()]
+            if not alive:
+                # No pool (workers=1) or every worker exited/crashed: the
+                # driver works the queue itself — including stealing from
+                # a cooperating process that died mid-lease.
+                _worker_loop(queue, driver, batch, active=lambda: False)
+                break
+            wait(alive, timeout=config.poll_interval)
+    finally:
+        if pool is not None:
+            # A hung worker would block a clean shutdown forever; reap it.
+            if any(not future.done() for future in futures):
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+    return queue.collect(batch, jobs, unit_ids=unit_ids)
+
+
+def run_helper(store_path, config: Optional[DistribConfig] = None,
+               worker: Optional[str] = None,
+               wait_for_store: float = 0.0) -> int:
+    """Work a shared store as a cooperating process; returns units done.
+
+    The second-invocation side of a multi-process campaign: claim any
+    claimable unit (any batch), evaluate, complete, repeat — until the
+    driver's liveness window (``active_until``, refreshed while the driver
+    runs, cleared when it finishes) lapses and the queue drains.  The
+    helper never merges or journals: the driver owns every artifact, so
+    the final state is byte-identical to a single-process run whatever
+    work the helper picked up.  ``wait_for_store`` additionally waits for
+    the store file itself, so a helper may be started *before* the driver.
+    """
+    config = config or DistribConfig(store_path=str(store_path))
+    deadline = time.time() + wait_for_store
+    while not Path(store_path).exists():
+        if time.time() >= deadline:
+            return 0
+        time.sleep(config.poll_interval)
+    store = CampaignStore(store_path)
+    queue = WorkQueue(store, config)
+    name = worker or f"helper-{os.getpid()}"
+
+    def driver_alive() -> bool:
+        until = store.meta_get("active_until")
+        return until is not None and until > time.time()
+
+    # Give a driver that has created the store but not yet armed its
+    # liveness window the same grace as the store file itself.
+    while not driver_alive() and time.time() < deadline:
+        if queue.claimable() > 0:
+            break
+        time.sleep(config.poll_interval)
+    try:
+        return _worker_loop(queue, name, batch=None, active=driver_alive)
+    finally:
+        store.close()
+
+
+def mark_active(store: CampaignStore, config: DistribConfig) -> None:
+    """Refresh the driver's liveness window (helpers exit when it lapses)."""
+    store.meta_set("active_until",
+                   time.time() + max(5 * config.lease_ttl, 30.0))
+
+
+def mark_finished(store: CampaignStore) -> None:
+    """Close the liveness window: cooperating helpers drain and exit."""
+    store.meta_set("active_until", 0.0)

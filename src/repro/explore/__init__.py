@@ -36,7 +36,6 @@ from repro.explore.engine import (
 from repro.explore.oracle import OracleCache, OracleVerdict, ReferenceReplay, check_run
 from repro.explore.parallel import (
     MutationReport,
-    SharedStateStore,
     merge_results,
     mutation_campaign,
     parallel_explore_benchmark,

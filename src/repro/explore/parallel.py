@@ -12,17 +12,26 @@ only care is determinism of the *reported* result:
   find the first branching decision and gives each worker a slice of its
   alternatives as DFS root prefixes.  Shards keep private visited-state sets
   (coverage is unioned via stable state hashes) **and additionally share a
-  cross-worker visited-fingerprint memo** — a multiprocessing manager dict
-  each shard's merge probe consults through :class:`SharedStateStore` — so
-  shards stop re-exploring (and re-judging) overlap that a shard *completed
-  failure-free*.  Publication is gated on clean completion (see
-  :class:`SharedStateStore`), which keeps the failure list and the
-  combined coverage independent of scheduling timing.  Statistics are
+  cross-worker visited-fingerprint memo** — a SQLite-backed
+  :class:`~repro.distrib.CampaignStore` each shard's merge probe consults
+  through :class:`~repro.distrib.VisitedStore` — so shards stop re-exploring
+  (and re-judging) overlap that a shard *completed failure-free*.
+  Publication is gated on clean completion (see
+  :class:`~repro.distrib.VisitedStore`), which keeps the failure list and
+  the combined coverage independent of scheduling timing.  Statistics are
   not: judged/pruned/shared-hit counts — and, under budgets tight enough
   that pruning decides whether a shard drains, the per-shard ``exhausted``
   flags — depend on which shards finish first, so assert verdicts, never
   exact counts, for ``workers > 1``.  The merged failure list is ordered
   by (shard, discovery order).
+
+With a persistent ``--store`` (see :mod:`repro.distrib`), shards are not
+statically bound to pool workers: every shard becomes a leased work unit in
+the store's work-stealing queue, so cooperating processes — extra
+``expresso`` invocations pointed at the same path — pick up units, and a
+unit whose worker dies is re-claimed by a sibling after its lease expires.
+The merged result is collected in unit order either way, so it is identical
+to the supervised-pool path.
 
 Workers never recompile the monitor: the parent ships the *generated coop
 class source* (plus the reference AST, POR footprints, semantic matrix and
@@ -38,14 +47,16 @@ a placement-wide lost-wakeup detection sweep, parallelized per mutant.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.codegen.python_gen import generate_python_explicit, materialize_class
+from repro.distrib import CampaignStore, DistribConfig, VisitedStore, queue_map
 from repro.explore.engine import (
     Counterexample,
     ExplorationResult,
@@ -59,6 +70,7 @@ from repro.explore.strategies import FirstStrategy
 from repro.lang.ast import Monitor
 from repro.placement.target import ExplicitMonitor
 from repro.resilience import JobFailure, SupervisorConfig, run_supervised
+from repro.resilience.atomic import checksum_payload
 
 
 def default_workers() -> int:
@@ -90,73 +102,6 @@ def map_jobs(function, jobs: Sequence[dict], workers: Optional[int] = None,
 
 
 # ---------------------------------------------------------------------------
-# The cross-worker visited-state store
-# ---------------------------------------------------------------------------
-
-
-class SharedStateStore:
-    """A cross-process visited-fingerprint memo with completion-gated publishes.
-
-    DFS shards keep their (fast, process-local) ``seen`` sets; on top, a
-    shard buffers the stable hashes of its fresh states and — only once its
-    whole slice of the search is drained without failures (:meth:`publish`,
-    called by the engine when the DFS stack empties and the shard judged
-    every schedule clean) — pushes them to one manager dict.
-    In the meantime it refreshes its local snapshot of foreign hashes every
-    ``refresh_every`` probes.  Gating publication on completion is what
-    keeps cross-shard pruning sound: a sibling treats a published state as
-    a fully covered, failure-free subtree, so the publishing shard must
-    actually have drained it clean — which a shard stopped early (budget
-    split, work cap, stop-on-failure) or one that recorded a failure has
-    not.  ``probe`` errs on the side of ``False``
-    (state not known elsewhere) between refreshes — a shard then merely
-    re-explores a little overlap, never skips coverage.
-    """
-
-    def __init__(self, store, refresh_every: int = 32):
-        self._store = store            # multiprocessing.Manager().dict()
-        self.refresh_every = max(int(refresh_every), 1)
-        self._snapshot: set = set()
-        self._pending: List[int] = []
-        self._probes = 0
-        self.refreshes = 0
-        self.refresh()                 # pull what completed shards published
-
-    def probe(self, state_hash: int) -> bool:
-        """Buffer *state_hash*; True when a *completed* shard published it."""
-        self._probes += 1
-        if self._probes % self.refresh_every == 0:
-            self.refresh()
-        if state_hash in self._snapshot:
-            return True
-        self._pending.append(state_hash)
-        return False
-
-    def refresh(self) -> None:
-        """Re-pull the local snapshot of published foreign hashes."""
-        try:
-            self._snapshot = set(self._store.keys())
-        except (EOFError, BrokenPipeError, ConnectionError):
-            # The manager is gone (driver tearing down): degrade to local.
-            self._snapshot = set()
-        self.refreshes += 1
-
-    def publish(self) -> None:
-        """Push the buffered hashes to the shared dict.
-
-        Callers must only publish when the shard's search is fully drained:
-        sibling shards prune published states as covered subtrees.
-        """
-        if not self._pending:
-            return
-        try:
-            self._store.update(dict.fromkeys(self._pending, True))
-        except (EOFError, BrokenPipeError, ConnectionError):
-            pass
-        self._pending.clear()
-
-
-# ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
@@ -177,9 +122,10 @@ def _rebuild_class(job: dict) -> type:
 def _run_shard(job: dict) -> ExplorationResult:
     """One worker's slice of a campaign (executed in a pool process)."""
     coop_class = _rebuild_class(job)
-    shared_states = job.get("shared_states")
-    shared_store = (SharedStateStore(shared_states)
-                    if shared_states is not None else None)
+    store_path = job.get("visited_store")
+    shared_store = (VisitedStore(CampaignStore(store_path),
+                                 scope=job["visited_scope"])
+                    if store_path is not None else None)
 
     def explore() -> ExplorationResult:
         return explore_class(
@@ -345,6 +291,8 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                            witness: bool = False, trace: bool = False,
                            workers: Optional[int] = None,
                            supervisor: Optional[SupervisorConfig] = None,
+                           store: Optional[CampaignStore] = None,
+                           distrib: Optional[DistribConfig] = None,
                            ) -> ExplorationResult:
     """`explore_class`, sharded over a supervised process pool.
 
@@ -352,11 +300,20 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
     do all the work anyway.  The coop class must carry ``_coop_source`` (all
     engine-built classes do) so workers can rebuild it without recompiling.
     ``share_states`` (DFS only) links the shards' merge probes through one
-    :class:`SharedStateStore`, so overlap explored by one shard is pruned —
-    not re-judged — by the others.  ``trace`` records every shard into a
-    flight-recorder session and attaches ``trace_shards`` /
-    ``metrics_snapshot`` to the merged result (also on the sequential
-    fallback, so callers read one surface regardless of worker count).
+    SQLite-backed :class:`~repro.distrib.VisitedStore` (a private temp store
+    by default, the persistent campaign *store* when one is given), so
+    overlap explored by one shard is pruned — not re-judged — by the others.
+    ``trace`` records every shard into a flight-recorder session and
+    attaches ``trace_shards`` / ``metrics_snapshot`` to the merged result
+    (also on the sequential fallback, so callers read one surface regardless
+    of worker count).
+
+    With *store* set, shards are dispatched through the store's lease-based
+    work-stealing queue (:func:`repro.distrib.queue_map`) instead of a
+    statically partitioned pool: cooperating processes pointed at the same
+    store path claim units too, and a crashed worker's units are stolen by
+    surviving siblings after the TTL.  Results still merge in unit order, so
+    the outcome matches the supervised-pool path.
 
     Shards run under the worker supervisor: a shard whose worker dies or
     hangs is retried in isolation and, if it keeps failing, *quarantined* —
@@ -384,7 +341,7 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         result.metrics_snapshot = session.registry.snapshot()
         return result
 
-    if workers <= 1 or source is None:
+    if source is None or (workers <= 1 and store is None):
         return sequential()
     # Explicit coop sources embed footprints/matrix as class-attribute
     # literals — rebuilding from source restores them, so ship them only
@@ -412,18 +369,31 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
         "witness": witness,
         "trace": trace,
     }
-    manager = None
+    tempdir = None
     jobs: List[dict] = []
     try:
         if strategy == "dfs":
             roots = _dfs_root_prefixes(coop_class, programs, max_steps)
-            if len(roots) < 2:
+            if not roots or (len(roots) < 2 and store is None):
                 return sequential()
-            shared_states = None
-            if share_states and por:
-                manager = multiprocessing.Manager()
-                shared_states = manager.dict()
-            root_slices = _shard_bounds(len(roots), min(workers, len(roots)))
+            visited_store = None
+            visited_scope = None
+            if share_states and por and roots:
+                # Campaign-scoped namespace: different benchmarks/configs
+                # cooperating through one persistent store never observe
+                # each other's published subtrees.
+                visited_scope = checksum_payload([
+                    benchmark, discipline, source,
+                    [[repr(op) for op in program] for program in programs],
+                    seed, max_steps, bool(semantic), bool(symmetry)])[:16]
+                if store is not None:
+                    visited_store = str(store.path)
+                else:
+                    tempdir = tempfile.TemporaryDirectory(
+                        prefix="expresso-visited-")
+                    visited_store = str(Path(tempdir.name) / "visited.sqlite3")
+            root_slices = _shard_bounds(len(roots),
+                                        min(max(workers, 1), len(roots)))
             # The --schedules budget caps *total* judged schedules, like the
             # sequential path: split it across shards (each shard gets at
             # least one schedule so every subtree is entered).
@@ -435,22 +405,34 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                 job["seed"] = seed
                 job["budget"] = max(shard_budget, 1)
                 job["dfs_prefixes"] = roots[start:end]
-                job["shared_states"] = shared_states
+                job["visited_store"] = visited_store
+                job["visited_scope"] = visited_scope
                 jobs.append(job)
         else:
-            for start, end in _shard_bounds(budget, workers):
+            for start, end in _shard_bounds(budget, max(workers, 1)):
                 job = dict(base_job)
                 job["seed"] = seed + start
                 job["budget"] = end - start
                 jobs.append(job)
         start_time = time.perf_counter()
-        config = supervisor or SupervisorConfig()
-        config = dataclasses.replace(config, workers=len(jobs))
-        outcomes = run_supervised(_run_shard, jobs, config)
+        if store is not None:
+            batch_key = checksum_payload([
+                benchmark, discipline, strategy, source,
+                [[repr(op) for op in program] for program in programs],
+                budget, seed, max_steps, stop_on_failure, minimize,
+                por, semantic, symmetry, witness, len(jobs)])[:16]
+            outcomes = queue_map(
+                _run_shard, jobs, store, batch=f"explore/{batch_key}",
+                config=distrib or DistribConfig(store_path=str(store.path)),
+                workers=min(max(workers, 1), len(jobs)))
+        else:
+            config = supervisor or SupervisorConfig()
+            config = dataclasses.replace(config, workers=len(jobs))
+            outcomes = run_supervised(_run_shard, jobs, config)
         elapsed = time.perf_counter() - start_time
     finally:
-        if manager is not None:
-            manager.shutdown()
+        if tempdir is not None:
+            tempdir.cleanup()
     shards: List[ExplorationResult] = []
     lost: List[dict] = []
     for job, outcome in zip(jobs, outcomes):

@@ -34,6 +34,21 @@ byte-identical corpus directory — journal included — to one that never
 crashed.  Candidate evaluation runs under the worker supervisor: a worker
 death or hang is retried and, at worst, quarantined into
 ``compile_errors`` as a per-candidate ``worker:`` error.
+
+Distributed campaigns: with ``config.distrib`` pointing at a shared
+:class:`~repro.distrib.CampaignStore`, candidate batches are dispatched
+through the store's lease-based work-stealing queue
+(:func:`repro.distrib.queue_map`) instead of a statically partitioned pool.
+Any process pointed at the store — the driver, its pool workers, extra
+``expresso fuzz --store PATH --helper`` invocations — claims units under TTL
+leases; a crashed worker's unit is stolen after the lease expires.  Unit ids
+are keyed by entry id, so a resumed driver re-enqueueing a replayed round
+reuses stored results and merges stay deterministic.  The driver mirrors
+every checkpoint into the store (corpus index, coverage map, checkpoint
+frontier) and checkpoint records additionally embed each newly admitted
+entry's full record (``entry_records``), so a corpus directory whose journal
+is *ahead* of its entry files rolls forward on resume/repair instead of
+failing.
 """
 
 from __future__ import annotations
@@ -43,6 +58,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.distrib import (
+    CampaignStore,
+    DistribConfig,
+    mark_active,
+    mark_finished,
+    queue_map,
+)
 from repro.explore.parallel import map_jobs
 from repro.fuzz.corpus import (
     CorpusEntry,
@@ -79,12 +101,17 @@ class FuzzConfig:
     #: Worker supervision knobs (per-job deadline, retry budget); ``None``
     #: uses the supervisor defaults.
     supervisor: Optional[SupervisorConfig] = None
+    #: Distributed fabric: when set (with a ``store_path``), candidate
+    #: batches go through the shared store's work-stealing queue so
+    #: cooperating processes evaluate units too.
+    distrib: Optional[DistribConfig] = None
 
     def fingerprint_dict(self) -> dict:
         """The deterministic inputs a resumed invocation must match.
 
-        ``workers`` and ``trace`` are excluded: both change wall-clock
-        behaviour only, never the campaign's observable results.
+        ``workers``, ``trace`` and ``distrib`` (store topology and lease
+        knobs) are excluded: they change wall-clock behaviour only, never
+        the campaign's observable results.
         """
         return {"seed": self.seed, "budget": self.budget,
                 "per_run_budget": self.per_run_budget,
@@ -121,6 +148,10 @@ class FuzzCampaignResult:
     #: batch-slot order) — excluded from :meth:`to_dict` like all timing.
     trace_shards: Optional[List[list]] = field(default=None, repr=False)
     metrics_snapshot: Optional[Dict[str, int]] = field(default=None, repr=False)
+    #: Shared-store lease counters (``distrib.*``) when the campaign ran
+    #: against a distributed store; ``None`` — and absent from
+    #: :meth:`to_dict` — otherwise, keeping legacy artifacts byte-stable.
+    distrib: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -133,7 +164,7 @@ class FuzzCampaignResult:
         return self.coverage_total / self.schedules_run
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "seed": self.seed,
             "budget": self.budget,
             "workers": self.workers,
@@ -154,6 +185,12 @@ class FuzzCampaignResult:
                                sorted(self.operator_stats.items())},
             "ok": self.ok,
         }
+        # Lease counters are timing-dependent (renewals, steals), so they
+        # only appear when a shared store was actually in play.
+        if self.distrib is not None:
+            record["distrib"] = {name: int(value) for name, value in
+                                 sorted(self.distrib.items())}
+        return record
 
 
 # ---------------------------------------------------------------------------
@@ -333,10 +370,16 @@ def run_campaign(config: FuzzConfig,
     result = FuzzCampaignResult(seed=config.seed, budget=config.budget,
                                 workers=config.workers,
                                 strategy=config.strategy)
+    dstore: Optional[CampaignStore] = None
+    if config.distrib is not None and config.distrib.store_path:
+        dstore = CampaignStore(config.distrib.store_path)
+        dstore.bind_campaign(config.fingerprint_dict())
+        mark_active(dstore, config.distrib)
 
     # -- journal recovery / restore -------------------------------------------
     journal = store.journal()
     checkpoint_record = None
+    journal_records: List[dict] = []
     if journal is not None and journal.exists():
         if config.resume:
             replay = journal.truncate_to_valid()
@@ -348,6 +391,7 @@ def run_campaign(config: FuzzConfig,
                     "--resume (or --repair) to roll back to the last "
                     "valid checkpoint")
         checkpoint_record = replay.last
+        journal_records = replay.records
     resuming = config.resume and checkpoint_record is not None
     if resuming:
         if checkpoint_record["config"] != config.fingerprint_dict():
@@ -355,6 +399,10 @@ def run_campaign(config: FuzzConfig,
                 store.root, "checkpoint was written by a campaign with "
                 "different parameters; resume with the original flags")
         store.restore_checkpoint(checkpoint_record)
+        # A journal ahead of the entry files (lost/tampered directory, but
+        # committed frames survive) rolls forward instead of failing: the
+        # checkpoint records carry every admitted entry's full record.
+        store.roll_forward(journal_records)
         entries = store.load_entries(ids=checkpoint_record["entries"])
         picks = checkpoint_record["picks"]
         for entry in entries:
@@ -385,6 +433,7 @@ def run_campaign(config: FuzzConfig,
                     "--repair")
         entries = store.load_entries()
     known_ids = {entry.entry_id for entry in entries}
+    checkpointed_ids = set(known_ids)
     coverage = CoverageMap.from_dict(store.load_coverage() or {})
     fingerprints = {entry.fingerprint for entry in entries
                     if entry.fingerprint}
@@ -469,6 +518,22 @@ def run_campaign(config: FuzzConfig,
         return (result.schedules_run < config.budget
                 and len(findings) < config.max_findings)
 
+    def evaluate_batch(jobs: List[dict], batch: str,
+                       keys: List[str]) -> List:
+        """Dispatch one candidate batch: work-stealing queue or pool.
+
+        With a shared store, unit ids are ``<batch>/<entry id>`` — stable
+        across resumes even though a replayed round skips already-admitted
+        entries, so stored results always line back up with their jobs.
+        """
+        if dstore is not None:
+            mark_active(dstore, config.distrib)
+            return queue_map(_evaluate_candidate, jobs, dstore, batch,
+                             config.distrib, workers=config.workers,
+                             keys=keys)
+        return map_jobs(_evaluate_candidate, jobs, config.workers,
+                        supervisor=config.supervisor)
+
     def ordered_findings_list() -> List[dict]:
         return sorted(
             findings.values(),
@@ -482,7 +547,10 @@ def run_campaign(config: FuzzConfig,
         The record carries everything a resume needs (no timing, nothing
         invocation-specific), so a killed-and-resumed campaign appends the
         *same* records an uninterrupted one would — the journal itself
-        converges byte-identically.
+        converges byte-identically.  Entries admitted since the previous
+        checkpoint ride along in full (``entry_records``): committed journal
+        frames are then sufficient to rebuild a lost entry file
+        byte-identically (see :meth:`CorpusStore.roll_forward`).
         """
         if journal is None:
             return
@@ -490,13 +558,17 @@ def run_campaign(config: FuzzConfig,
                 "schedules_last_run": result.schedules_run}
         current_findings = ordered_findings_list()
         store.save_state(coverage.to_dict(), current_findings, meta)
-        journal.append_if_changed({
+        fresh = [entry for entry in entries
+                 if entry.entry_id not in checkpointed_ids]
+        record = {
             "type": "checkpoint",
             "config": config.fingerprint_dict(),
             "bootstrap_done": bootstrap_done,
             "round_index": round_index,
             "rounds_this_run": rounds_this_run,
             "entries": [entry.entry_id for entry in entries],
+            "entry_records": {entry.entry_id: entry.to_dict()
+                              for entry in fresh},
             "picks": {entry.entry_id: entry.picks for entry in entries
                       if entry.picks},
             "coverage": coverage.to_dict(),
@@ -511,7 +583,17 @@ def run_campaign(config: FuzzConfig,
                 "compile_errors": result.compile_errors,
                 "operator_stats": result.operator_stats,
             },
-        })
+        }
+        journal.append_if_changed(record)
+        checkpointed_ids.update(entry.entry_id for entry in fresh)
+        if dstore is not None:
+            # Mirror the committed checkpoint into the shared store in one
+            # transaction: corpus index, coverage map, and the frontier —
+            # a cooperating process reads a consistent snapshot or nothing.
+            with dstore.transaction("checkpoint.mirror") as conn:
+                dstore.set_frontier("fuzz/checkpoint", record, conn=conn)
+                dstore.merge_coverage(record["coverage"], conn=conn)
+                dstore.index_entries(record["entry_records"], conn=conn)
 
     # -- bootstrap ------------------------------------------------------------
     rounds_this_run = rounds_restored
@@ -526,9 +608,9 @@ def run_campaign(config: FuzzConfig,
     bootstrap_done = True
     if boot_jobs and budget_left():
         with tracer.span("fuzz.bootstrap", cat="fuzz", batch=len(boot_jobs)):
-            outcomes = map_jobs(_evaluate_candidate,
-                                [job for _entry, job in boot_jobs],
-                                config.workers, supervisor=config.supervisor)
+            outcomes = evaluate_batch(
+                [job for _entry, job in boot_jobs], "boot",
+                [entry.entry_id for entry, _job in boot_jobs])
         for (entry, _job), outcome in zip(boot_jobs, outcomes):
             if isinstance(outcome, JobFailure):
                 outcome = outcome.error_dict(entry_id=entry.entry_id)
@@ -600,9 +682,9 @@ def run_campaign(config: FuzzConfig,
             continue
         with tracer.span("fuzz.round", cat="fuzz", round=round_index,
                          batch=len(batch)):
-            outcomes = map_jobs(_evaluate_candidate,
-                                [job for _e, _op, job in batch],
-                                config.workers, supervisor=config.supervisor)
+            outcomes = evaluate_batch(
+                [job for _e, _op, job in batch], f"r{round_index:06d}",
+                [entry.entry_id for entry, _op, _job in batch])
         for (entry, op_name, _job), outcome in zip(batch, outcomes):
             if isinstance(outcome, JobFailure):
                 outcome = outcome.error_dict(entry_id=entry.entry_id)
@@ -633,4 +715,11 @@ def run_campaign(config: FuzzConfig,
             "rounds_completed": round_index,
             "schedules_last_run": result.schedules_run,
         })
+    if dstore is not None:
+        result.distrib = dstore.counters()
+        # Close the liveness window so cooperating helpers drain and exit;
+        # a *crashed* driver instead lets it lapse, keeping helpers around
+        # long enough for a resumed driver to take over.
+        mark_finished(dstore)
+        dstore.close()
     return result

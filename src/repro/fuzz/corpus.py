@@ -20,7 +20,11 @@ valid record, and :meth:`~repro.resilience.Journal.truncate_to_valid`
 handles a torn tail.  Entry files written by a crashed round are *orphans*
 (absent from every checkpoint's admission list); the resumed round re-runs
 deterministically and rewrites them byte-identically, so they are never
-deleted, only superseded.
+deleted, only superseded.  The converse window — a journal *ahead* of the
+entry files — closes too: each checkpoint embeds its newly admitted
+entries' full records (``entry_records``), and
+:meth:`CorpusStore.roll_forward` replays those committed frames to rebuild
+a lost ``entries/<id>.json`` byte-identically on resume or repair.
 
 Every entry records *provenance*, not just its artifact: generated roots
 carry their ``(campaign seed, index)`` derivation, mutants their parent id,
@@ -315,6 +319,41 @@ class CorpusStore:
                 pass
         return removed
 
+    def roll_forward(self, records: Sequence[dict]) -> List[str]:
+        """Rebuild admitted entry files the journal committed but the
+        directory lost.
+
+        Checkpoint records embed each newly admitted entry's full record
+        (``entry_records``), so when the journal is *ahead* of the entry
+        files — a missing or torn ``entries/<id>.json`` the journal fsync'd
+        an admission for — the committed frames are replayed instead of
+        giving up: the file is rewritten through the same canonical atomic
+        JSON writer ``save_entry`` used, hence byte-identically.  Entries
+        admitted by journals that predate ``entry_records`` stay
+        unrecoverable and are left for :meth:`load_entries`/:meth:`repair`
+        to report.  Returns the restored entry ids (sorted).
+        """
+        if self.root is None:
+            return []
+        committed: Dict[str, dict] = {}
+        for record in records:
+            committed.update(record.get("entry_records") or {})
+        if not committed:
+            return []
+        entries_dir = self.root / "entries"
+        restored = []
+        for entry_id, payload in committed.items():
+            path = entries_dir / f"{entry_id}.json"
+            try:
+                json.loads(path.read_text())
+                continue               # present and readable: leave it be
+            except (OSError, ValueError):
+                pass
+            entries_dir.mkdir(parents=True, exist_ok=True)
+            self._write_json(path, payload)
+            restored.append(entry_id)
+        return sorted(restored)
+
     def clean_stale_tmp(self) -> List[str]:
         """Remove ``*.tmp`` siblings left by writes a crash interrupted."""
         removed = []
@@ -381,14 +420,18 @@ class CorpusStore:
     def repair(self) -> dict:
         """Roll the directory back to its last valid journaled state.
 
-        Truncates a torn journal tail, deletes stale ``*.tmp`` files, and
-        rewrites the state files from the last checkpoint.  Returns a
-        summary dict (what was truncated/removed/restored).  Raises
-        :class:`CorruptCorpusError` only when an *admitted* entry file is
-        gone — that state is unrecoverable without re-running the campaign.
+        Truncates a torn journal tail, deletes stale ``*.tmp`` files,
+        rolls missing admitted entry files *forward* from the committed
+        checkpoint frames (:meth:`roll_forward`), and rewrites the state
+        files from the last checkpoint.  Returns a summary dict (what was
+        truncated/removed/restored).  Raises :class:`CorruptCorpusError`
+        only when an admitted entry file is gone *and* no journal frame
+        carries its record (pre-``entry_records`` journals) — that state is
+        unrecoverable without re-running the campaign.
         """
         summary = {"journal_records": 0, "journal_truncated": False,
-                   "tmp_removed": [], "state_restored": False}
+                   "tmp_removed": [], "entries_restored": [],
+                   "state_restored": False}
         if self.root is None or not self.root.is_dir():
             return summary
         journal = self.journal()
@@ -397,6 +440,7 @@ class CorpusStore:
         summary["journal_truncated"] = replay.torn
         summary["tmp_removed"] = self.clean_stale_tmp()
         if replay.last is not None:
+            summary["entries_restored"] = self.roll_forward(replay.records)
             missing = [entry_id for entry_id in replay.last["entries"]
                        if not (self.root / "entries"
                                / f"{entry_id}.json").exists()]

@@ -205,6 +205,12 @@ def render_fuzz_table(result) -> str:
                          + str(stats.get("rejected", 0)).ljust(10)
                          + str(stats.get("new_coverage", 0)).ljust(8)
                          + str(stats.get("findings", 0)))
+    distrib = getattr(result, "distrib", None)
+    if distrib:
+        lines.append("")
+        lines.append("shared store".ljust(14)
+                     + "  ".join(f"{name[len('distrib.'):]}={int(value)}"
+                                 for name, value in sorted(distrib.items())))
     lines.append("-" * len(header))
     lines.append(f"findings: {len(result.findings)} "
                  f"({result.duplicate_findings} duplicates suppressed), "
@@ -244,14 +250,17 @@ def render_lint_table(reports: Sequence) -> str:
 
 def render_profile_table(profiler, phases: Optional[Dict[str, dict]] = None,
                          wall_seconds: Optional[float] = None,
-                         top: int = 10) -> str:
+                         top: int = 10,
+                         metrics: Optional[Dict[str, int]] = None) -> str:
     """Render an SMT-profiler session as a text report.
 
     Accepts a :class:`repro.obs.profile.SmtProfiler` (typed loosely to keep
     the harness importable without the obs subsystem).  *phases* is the
     per-span attribution from :func:`repro.obs.phase_attribution`; with
     *wall_seconds* the header additionally reports what fraction of the
-    measured wall time the named spans account for.
+    measured wall time the named spans account for.  *metrics* is a counter
+    snapshot; its ``distrib.*`` counters (shared-store lease traffic) are
+    surfaced as their own section when present.
     """
     header = "SMT query profile (expresso profile)"
     lines = [header, "-" * len(header)]
@@ -291,6 +300,14 @@ def render_profile_table(profiler, phases: Optional[Dict[str, dict]] = None,
                          + str(row["phase"]).ljust(phase_width)
                          + str(row["caller"]))
             lines.append("  " + str(row["sample"]))
+    distrib = {name: value for name, value in (metrics or {}).items()
+               if name.startswith("distrib.")}
+    if distrib:
+        lines.append("")
+        lines.append("Distributed store")
+        for name in sorted(distrib):
+            lines.append(f"  {name[len('distrib.'):]}".ljust(26)
+                         + str(int(distrib[name])))
     lines.append("-" * len(header))
     callers = profiler.by_caller()
     hottest = sorted(callers.items(),

@@ -10,6 +10,19 @@ declares **named fault sites** instead::
     fault_check("worker.job", token=entry_id)
     fault_check("disk.write", token=path.name)
 
+The distributed campaign fabric (:mod:`repro.distrib`) adds four sites:
+``store.read`` and ``store.write`` fire before every shared-store read /
+write transaction (token = the operation, e.g. ``"claim"``,
+``"enqueue:boot"``; additionally ``store.write`` fires with token
+``"claim:<unit id>"`` right *after* a lease commits — a crash there is a
+worker dying while holding a live lease), ``lease.renew`` and
+``worker.heartbeat`` fire in the lease-renewal path (token = unit id), so
+every failure mode of the lease protocol — torn store, mid-lease death,
+missed heartbeat — is deterministically injectable.  During claim-boundary
+checks and unit evaluation the plan's ``attempt`` context is the unit's
+prior lease count, so default ``attempt=0`` rules kill only the first
+claimant and steals/retries converge to the fault-free result.
+
 and a :class:`FaultPlan` — a list of :class:`FaultRule` — decides, purely
 from the site name, the token, and a per-site occurrence counter, whether
 anything fires there.  With no plan installed every check is one module

@@ -300,58 +300,62 @@ class TestParallel:
         assert sequential.exhausted and sharded.exhausted
         assert sequential.ok and sharded.ok
 
-    def test_shared_store_publish_is_completion_gated(self):
-        """SharedStateStore semantics against a plain dict stand-in: probes
+    def test_shared_store_publish_is_completion_gated(self, tmp_path):
+        """VisitedStore semantics against an on-disk CampaignStore: probes
         buffer locally and nothing is visible to siblings until the shard
         drains its search and publishes."""
-        from repro.explore import SharedStateStore
+        from repro.distrib import CampaignStore, VisitedStore
 
-        backing: dict = {}
-        first = SharedStateStore(backing, refresh_every=2)
+        backing = CampaignStore(tmp_path / "campaign.sqlite3")
+        first = VisitedStore(backing, scope="s", refresh_every=2)
         assert first.probe(1) is False
         assert first.probe(2) is False
-        assert backing == {}                # unpublished: shard still running
+        assert backing.visited_snapshot("s") == set()   # shard still running
         first.publish()
-        assert backing == {1: True, 2: True}
-        second = SharedStateStore(backing, refresh_every=2)
+        assert backing.visited_snapshot("s") == {1, 2}
+        second = VisitedStore(backing, scope="s", refresh_every=2)
         assert second.probe(1) is True      # constructor pulled the snapshot
         assert second.probe(3) is False
         second.publish()
-        assert 3 in backing
+        assert 3 in backing.visited_snapshot("s")
+        # Scopes are namespaces: a different campaign on the same store
+        # file must never prune against these hashes.
+        other = VisitedStore(backing, scope="t", refresh_every=2)
+        assert other.probe(1) is False
+        backing.close()
 
     def test_incomplete_or_failing_shards_do_not_publish_states(
-            self, buffer_spec, buffer_result):
+            self, buffer_spec, buffer_result, tmp_path):
         """Siblings prune published states as fully covered, failure-free
         subtrees: a budget-stopped shard and a shard that recorded a
         failure must both keep their states private."""
-        from repro.explore import SharedStateStore
+        from repro.distrib import CampaignStore, VisitedStore
 
         monitor, coop_class = coop_monitor_and_class(buffer_spec, "expresso")
         programs = buffer_spec.workload(3, 2)
-        capped_backing: dict = {}
+        backing = CampaignStore(tmp_path / "campaign.sqlite3")
         capped = explore_class(
             monitor, coop_class, programs, strategy="dfs", budget=3,
             minimize=False, stop_on_failure=False,
-            shared_store=SharedStateStore(capped_backing))
+            shared_store=VisitedStore(backing, scope="capped"))
         assert capped.budget_exhausted and not capped.exhausted
-        assert capped_backing == {}
-        full_backing: dict = {}
+        assert backing.visited_snapshot("capped") == set()
         full = explore_class(
             monitor, coop_class, programs, strategy="dfs", budget=50_000,
             minimize=False, stop_on_failure=False,
-            shared_store=SharedStateStore(full_backing))
+            shared_store=VisitedStore(backing, scope="full"))
         assert full.exhausted
-        assert len(full_backing) == full.distinct_states
+        assert len(backing.visited_snapshot("full")) == full.distinct_states
         mutant = buffer_result.explicit.without_notification("put#0", 0)
         mutant_class = coop_class_for_explicit(mutant)
-        failing_backing: dict = {}
         failing = explore_class(
             buffer_result.monitor, mutant_class, buffer_spec.workload(2, 2),
             strategy="dfs", budget=50_000, minimize=False,
             stop_on_failure=False,
-            shared_store=SharedStateStore(failing_backing))
+            shared_store=VisitedStore(backing, scope="failing"))
         assert failing.exhausted and not failing.ok
-        assert failing_backing == {}
+        assert backing.visited_snapshot("failing") == set()
+        backing.close()
 
     def test_shared_store_shards_stay_sound(self, buffer_spec):
         """Cross-worker state sharing keeps exhaustion and verdict sets."""
