@@ -35,6 +35,14 @@ Usage examples::
 
     # List the built-in benchmarks.
     expresso list
+    expresso list --json
+
+    # Campaign console: inspect a shared store without joining it.
+    expresso status --store campaign.sqlite3 --json
+    expresso watch --store campaign.sqlite3 --interval 2
+    expresso watch --store campaign.sqlite3 --ticks 5 --now 0  # deterministic
+    expresso report --store campaign.sqlite3 --profile prof.json --out report/
+    expresso stitch driver-trace.json helper-trace.json --out stitched.json
 """
 
 from __future__ import annotations
@@ -141,11 +149,28 @@ def _distrib_from_args(args):
 
 
 def _run_helper_mode(args, distrib) -> int:
-    """`--helper`: work the shared store until the driver finishes."""
+    """`--helper`: work the shared store until the driver finishes.
+
+    With ``--trace`` the helper records its own flight recording — one
+    ``distrib.unit`` span per unit it evaluated — which ``expresso stitch``
+    merges with the driver's trace into a single cross-process timeline.
+    """
     from repro.distrib import run_helper
 
-    completed = run_helper(args.store, distrib,
-                           wait_for_store=args.helper_wait)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro import obs
+
+        with obs.observe(trace=True) as session:
+            completed = run_helper(args.store, distrib,
+                                   wait_for_store=args.helper_wait,
+                                   trace_units=True)
+        obs.write_trace(trace_path, [session.tracer.events],
+                        session.registry.snapshot())
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    else:
+        completed = run_helper(args.store, distrib,
+                               wait_for_store=args.helper_wait)
     print(f"helper finished: {completed} unit(s) completed",
           file=sys.stderr)
     return 0
@@ -366,7 +391,82 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON instead of text")
 
-    sub.add_parser("list", help="list the built-in benchmarks")
+    list_cmd = sub.add_parser("list", help="list the built-in benchmarks")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON (external tooling "
+                               "and the report generator consume this)")
+
+    status_cmd = sub.add_parser(
+        "status", help="one-shot read-only snapshot of a shared campaign "
+                       "store (units, leases, worker health, progress)")
+    status_cmd.add_argument("--store", metavar="PATH", required=True,
+                            help="the campaign store to inspect (opened "
+                                 "read-only; never binds or repairs)")
+    status_cmd.add_argument("--now", type=float, default=None,
+                            metavar="EPOCH",
+                            help="fix the clock for age computations "
+                                 "(deterministic snapshots; default: wall "
+                                 "clock)")
+    status_cmd.add_argument("--json", action="store_true",
+                            help="emit the byte-deterministic JSON snapshot")
+
+    watch_cmd = sub.add_parser(
+        "watch", help="poll a campaign store's status; nonzero exit when "
+                      "the anomaly watchdog fires (stalled lease, no "
+                      "progress)")
+    watch_cmd.add_argument("--store", metavar="PATH", required=True,
+                           help="the campaign store to watch (read-only)")
+    watch_cmd.add_argument("--interval", type=_positive_float, default=2.0,
+                           metavar="SECONDS",
+                           help="poll period (default: 2)")
+    watch_cmd.add_argument("--ticks", type=_positive_int, default=None,
+                           metavar="N",
+                           help="stop after N polls (default: run until "
+                                "interrupted)")
+    watch_cmd.add_argument("--stall-ticks", type=_positive_int, default=3,
+                           metavar="N",
+                           help="consecutive stalled polls before an "
+                                "anomaly fires (default: 3)")
+    watch_cmd.add_argument("--now", type=float, default=None, metavar="EPOCH",
+                           help="simulate the clock from EPOCH (advances "
+                                "--interval per tick, no sleeping — the "
+                                "deterministic test mode)")
+
+    report_cmd = sub.add_parser(
+        "report", help="write a self-contained HTML+markdown run report "
+                       "plus an OpenMetrics textfile")
+    report_cmd.add_argument("--store", metavar="PATH", default=None,
+                            help="campaign store to snapshot into the "
+                                 "report (read-only)")
+    report_cmd.add_argument("--profile", metavar="FILE", default=None,
+                            help="`expresso profile --json` output: phase "
+                                 "timings and hot SMT queries")
+    report_cmd.add_argument("--trace", metavar="FILE", action="append",
+                            default=None,
+                            help="Chrome-trace recording to fold in "
+                                 "(repeatable)")
+    report_cmd.add_argument("--out", metavar="DIR", default="report",
+                            help="output directory for report.md / "
+                                 "report.html / metrics.prom "
+                                 "(default: report/)")
+    report_cmd.add_argument("--title", default="expresso run report",
+                            help="report title")
+    report_cmd.add_argument("--now", type=float, default=None,
+                            metavar="EPOCH",
+                            help="fix the clock for the store snapshot "
+                                 "(deterministic reports)")
+
+    stitch_cmd = sub.add_parser(
+        "stitch", help="merge driver + helper Chrome traces into one "
+                       "pid/unit-keyed timeline with logical clocks")
+    stitch_cmd.add_argument("traces", nargs="+", metavar="TRACE",
+                            help="input trace files, driver first (one pid "
+                                 "lane per file)")
+    stitch_cmd.add_argument("--out", metavar="FILE", required=True,
+                            help="stitched trace output path")
+    stitch_cmd.add_argument("--label", action="append", default=None,
+                            help="process label per input, in order "
+                                 "(default: file stems)")
     return parser
 
 
@@ -760,7 +860,13 @@ def _cmd_explore(args) -> int:
     if cstore is not None:
         from repro.distrib import mark_finished
 
+        from repro import obs
+
         distrib_counters = cstore.counters()
+        # Mirror the store's transactional counters into the session
+        # registry under the same dotted names: one metrics namespace
+        # whether counters came from the store or the flight recorder.
+        obs.mirror_store_counters(distrib_counters)
         mark_finished(cstore)
         cstore.close()
     ok = all(result.ok for result in results)
@@ -1061,9 +1167,97 @@ def _cmd_lint(args) -> int:
     return 1 if any_error else 0
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(args) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps([{"name": name, "figure": spec.figure,
+                           "origin": spec.origin}
+                          for name, spec in ALL_BENCHMARKS.items()],
+                         indent=2))
+        return 0
     for name, spec in ALL_BENCHMARKS.items():
         print(f"{name:32s} figure {spec.figure}   ({spec.origin})")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.obs import console
+
+    try:
+        snapshot = console.snapshot_at(args.store, now=args.now)
+    except console.ConsoleError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for warning in snapshot["warnings"]:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        print(console.snapshot_json(snapshot))
+    else:
+        print(console.render_snapshot(snapshot))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs import console
+
+    try:
+        return console.watch(args.store, ticks=args.ticks,
+                             interval=args.interval, start=args.now,
+                             stall_ticks=args.stall_ticks)
+    except console.ConsoleError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import console, report
+
+    snapshot = None
+    if args.store:
+        try:
+            snapshot = console.snapshot_at(args.store, now=args.now)
+        except console.ConsoleError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for warning in snapshot["warnings"]:
+            print(f"warning: {warning}", file=sys.stderr)
+    profile = report.load_json(args.profile) if args.profile else None
+    traces = [report.load_json(path) for path in (args.trace or [])]
+    model = report.build_report(snapshot=snapshot, profile=profile,
+                                traces=traces or None,
+                                trace_labels=args.trace, title=args.title)
+    gauges = report.snapshot_gauges(snapshot) if snapshot else None
+    paths = report.write_report(args.out, model, gauges=gauges)
+    for kind in sorted(paths):
+        print(f"{kind}: {paths[kind]}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stitch(args) -> int:
+    from repro.obs import stitch
+    from repro.obs.validate import validate_trace
+
+    if args.label and len(args.label) != len(args.traces):
+        print(f"error: {len(args.traces)} trace(s) but "
+              f"{len(args.label)} label(s)", file=sys.stderr)
+        return 2
+    try:
+        document = stitch.stitch_files(args.traces, labels=args.label)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    errors = validate_trace(document)
+    if errors:
+        print("error: stitched trace fails schema validation:",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    stitch.write_stitched(args.out, document)
+    events = len(document["traceEvents"])
+    print(f"stitched {len(args.traces)} trace(s) -> {args.out} "
+          f"({events} events)", file=sys.stderr)
     return 0
 
 
@@ -1079,6 +1273,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "lint": _cmd_lint,
         "list": _cmd_list,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "report": _cmd_report,
+        "stitch": _cmd_stitch,
     }
     return handlers[args.command](args)
 

@@ -42,6 +42,7 @@ import pickle
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -178,6 +179,9 @@ class WorkQueue:
                 self.store.inc_counter(conn, "distrib.lease.granted")
                 if stolen:
                     self.store.inc_counter(conn, "distrib.lease.stolen")
+                self.store.record_telemetry(
+                    worker, {"last_heartbeat": now, "unit": row["unit_id"]},
+                    conn=conn, increments={"claims": 1})
                 claim = Claim(unit_id=row["unit_id"], payload=row["payload"],
                               attempt=row["attempts"])
                 break
@@ -208,6 +212,9 @@ class WorkQueue:
             renewed = cursor.rowcount > 0
             if renewed:
                 self.store.inc_counter(conn, "distrib.lease.renewed")
+                self.store.record_telemetry(
+                    worker, {"last_heartbeat": now, "unit": claim.unit_id},
+                    conn=conn, increments={"renewals": 1})
         if renewed:
             _obs_inc("distrib.lease.renewed")
         return renewed
@@ -226,6 +233,9 @@ class WorkQueue:
             completed = cursor.rowcount > 0
             if completed:
                 self.store.inc_counter(conn, "distrib.units.completed")
+                self.store.record_telemetry(
+                    worker, {"last_heartbeat": time.time(), "unit": None},
+                    conn=conn, increments={"completed": 1})
         if completed:
             _obs_inc("distrib.units.completed")
         return completed
@@ -240,6 +250,9 @@ class WorkQueue:
                 (error, claim.unit_id, worker))
             if cursor.rowcount > 0:
                 self.store.inc_counter(conn, "distrib.units.failed")
+                self.store.record_telemetry(
+                    worker, {"last_heartbeat": time.time(), "unit": None},
+                    conn=conn, increments={"failed": 1})
 
     # -- batch bookkeeping ----------------------------------------------------
 
@@ -316,24 +329,38 @@ class _Heartbeat(threading.Thread):
                 return                 # store unreachable: let the TTL decide
 
 
-def _evaluate_claim(queue: WorkQueue, claim: Claim, worker: str) -> None:
-    """Run one claimed unit under heartbeat renewal and commit its result."""
+def _evaluate_claim(queue: WorkQueue, claim: Claim, worker: str,
+                    trace_units: bool = False) -> None:
+    """Run one claimed unit under heartbeat renewal and commit its result.
+
+    ``trace_units`` wraps the evaluation in a ``distrib.unit`` span tagged
+    with the unit id and worker name — the helper's traced mode, which is
+    what cross-process stitching keys its per-unit lanes on.  It is an
+    explicit flag (not ``tracer().enabled``) so a traced *driver*'s
+    artifact keeps its exact historical shape.
+    """
+    from repro import obs
+
     saved_attempt = _set_plan_attempt(claim.attempt)
     heartbeat = _Heartbeat(queue, claim, worker)
     heartbeat.start()
+    span = (obs.tracer().span("distrib.unit", cat="distrib",
+                              unit=claim.unit_id, worker=worker)
+            if trace_units else nullcontext())
     try:
-        spec = pickle.loads(claim.payload)
-        try:
-            result = spec["function"](spec["job"])
-        except faults.InjectedCrash:
-            raise
-        except Exception as exc:
+        with span:
+            spec = pickle.loads(claim.payload)
+            try:
+                result = spec["function"](spec["job"])
+            except faults.InjectedCrash:
+                raise
+            except Exception as exc:
+                heartbeat.stop.set()
+                queue.release(claim, worker,
+                              f"{type(exc).__name__}: {exc}")
+                return
             heartbeat.stop.set()
-            queue.release(claim, worker,
-                          f"{type(exc).__name__}: {exc}")
-            return
-        heartbeat.stop.set()
-        queue.complete(claim, worker, result)
+            queue.complete(claim, worker, result)
     finally:
         heartbeat.stop.set()
         if saved_attempt is not None:
@@ -341,7 +368,8 @@ def _evaluate_claim(queue: WorkQueue, claim: Claim, worker: str) -> None:
 
 
 def _worker_loop(queue: WorkQueue, worker: str, batch: Optional[str],
-                 active: Callable[[], bool]) -> int:
+                 active: Callable[[], bool],
+                 trace_units: bool = False) -> int:
     """Claim-evaluate-complete until nothing is left (or *active* is False).
 
     Exits when the batch has no unsettled units — or, scoped to no batch
@@ -354,7 +382,7 @@ def _worker_loop(queue: WorkQueue, worker: str, batch: Optional[str],
     while True:
         claim = queue.claim(worker, batch=batch)
         if claim is not None:
-            _evaluate_claim(queue, claim, worker)
+            _evaluate_claim(queue, claim, worker, trace_units=trace_units)
             completed += 1
             continue
         if batch is not None:
@@ -443,7 +471,8 @@ def queue_map(function: Callable[[dict], Any], jobs: Sequence[dict],
 
 def run_helper(store_path, config: Optional[DistribConfig] = None,
                worker: Optional[str] = None,
-               wait_for_store: float = 0.0) -> int:
+               wait_for_store: float = 0.0,
+               trace_units: bool = False) -> int:
     """Work a shared store as a cooperating process; returns units done.
 
     The second-invocation side of a multi-process campaign: claim any
@@ -476,15 +505,29 @@ def run_helper(store_path, config: Optional[DistribConfig] = None,
             break
         time.sleep(config.poll_interval)
     try:
-        return _worker_loop(queue, name, batch=None, active=driver_alive)
+        return _worker_loop(queue, name, batch=None, active=driver_alive,
+                            trace_units=trace_units)
     finally:
         store.close()
 
 
 def mark_active(store: CampaignStore, config: DistribConfig) -> None:
-    """Refresh the driver's liveness window (helpers exit when it lapses)."""
-    store.meta_set("active_until",
-                   time.time() + max(5 * config.lease_ttl, 30.0))
+    """Refresh the driver's liveness window (helpers exit when it lapses).
+
+    The same transaction refreshes the driver's telemetry heartbeat and
+    records the campaign's lease knobs, so ``expresso status`` can classify
+    worker health (live/expired/dead) without guessing the TTLs.
+    """
+    now = time.time()
+    with store.transaction("mark_active") as conn:
+        store.meta_set("active_until",
+                       now + max(5 * config.lease_ttl, 30.0), conn=conn)
+        store.meta_set("distrib.lease_ttl", config.lease_ttl, conn=conn)
+        store.meta_set("distrib.heartbeat_interval",
+                       config.heartbeat_interval, conn=conn)
+        store.record_telemetry(f"driver-{os.getpid()}",
+                               {"last_heartbeat": now, "role": "driver"},
+                               conn=conn)
 
 
 def mark_finished(store: CampaignStore) -> None:

@@ -13,6 +13,7 @@ frontier   checkpointed exploration frontier (per-benchmark results, the
            fuzz campaign's last checkpoint record)
 units      the work-stealing queue (see :mod:`repro.distrib.queue`)
 counters   ``distrib.*`` observability counters, aggregated transactionally
+telemetry  per-worker heartbeat/progress rows for ``expresso status``
 ========== =================================================================
 
 Integrity: every row carries a blake2b-128 checksum of its payload
@@ -71,6 +72,8 @@ CREATE TABLE IF NOT EXISTS units (
 CREATE INDEX IF NOT EXISTS units_batch ON units (batch, status);
 CREATE TABLE IF NOT EXISTS counters (
     name TEXT PRIMARY KEY, value INTEGER NOT NULL, sha TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS telemetry (
+    worker TEXT PRIMARY KEY, payload TEXT NOT NULL, sha TEXT NOT NULL);
 """
 
 #: Row-payload tables verify() knows how to checksum, with the expression
@@ -83,6 +86,7 @@ _CHECKED = (
     ("coverage", ("axis", "feature"), lambda row: [row["axis"], row["feature"]]),
     ("frontier", ("key",), lambda row: [row["key"], row["payload"]]),
     ("counters", ("name",), lambda row: [row["name"], row["value"]]),
+    ("telemetry", ("worker",), lambda row: [row["worker"], row["payload"]]),
 )
 
 
@@ -102,9 +106,11 @@ def _row_sha(*fields: Any) -> str:
 class CampaignStore:
     """One shared on-disk campaign store (SQLite, WAL, checksummed rows)."""
 
-    def __init__(self, path, busy_timeout: float = 30.0):
+    def __init__(self, path, busy_timeout: float = 30.0,
+                 read_only: bool = False):
         self.path = Path(path)
         self.busy_timeout = busy_timeout
+        self.read_only = read_only
         self._conn: Optional[sqlite3.Connection] = None
         self._owner: Optional[Tuple[int, int]] = None  # (pid, thread id)
 
@@ -121,14 +127,27 @@ class CampaignStore:
         if self._conn is not None and self._owner != owner:
             self._conn = None           # inherited across fork/thread: drop
         if self._conn is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=self.busy_timeout,
-                                   isolation_level=None)
-            conn.row_factory = sqlite3.Row
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}")
-            conn.executescript(_SCHEMA)
+            if self.read_only:
+                # A console/status reader: never create the file, never run
+                # the schema, never take a write lock on someone's campaign.
+                uri = f"file:{self.path}?mode=ro"
+                conn = sqlite3.connect(uri, uri=True,
+                                       timeout=self.busy_timeout,
+                                       isolation_level=None)
+                conn.row_factory = sqlite3.Row
+                conn.execute("PRAGMA query_only=ON")
+                conn.execute(
+                    f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}")
+            else:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                conn = sqlite3.connect(self.path, timeout=self.busy_timeout,
+                                       isolation_level=None)
+                conn.row_factory = sqlite3.Row
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute(
+                    f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}")
+                conn.executescript(_SCHEMA)
             self._conn = conn
             self._owner = owner
         return self._conn
@@ -157,6 +176,9 @@ class CampaignStore:
         runs *before* the lock is taken, so an injected crash models a
         process dying at the boundary with nothing committed.
         """
+        if self.read_only:
+            raise StoreMismatchError(
+                self.path, f"store opened read-only; refusing write '{op}'")
         fault_check("store.write", token=op)
         conn = self._connection()
         conn.execute("BEGIN IMMEDIATE")
@@ -313,6 +335,45 @@ class CampaignStore:
             "SELECT name, value FROM counters ORDER BY name").fetchall()
         return {row["name"]: row["value"] for row in rows}
 
+    # -- telemetry ------------------------------------------------------------
+
+    def record_telemetry(self, worker: str, updates: Dict[str, Any],
+                         conn: Optional[sqlite3.Connection] = None,
+                         increments: Optional[Dict[str, int]] = None) -> None:
+        """Merge *updates* into *worker*'s telemetry row (read-merge-write).
+
+        Pass the open transaction's ``conn`` to piggyback on an existing
+        batch — every production caller does (claim/renew/complete in the
+        queue, the checkpoint mirror in the fuzz campaign), so telemetry
+        costs no extra ``store.write`` fault-point crossings and no extra
+        commits.  *increments* adds to existing numeric fields instead of
+        replacing them.
+        """
+        if conn is None:
+            with self.transaction(f"telemetry:{worker}") as conn:
+                self.record_telemetry(worker, updates, conn=conn,
+                                      increments=increments)
+            return
+        row = conn.execute("SELECT payload FROM telemetry WHERE worker = ?",
+                           (worker,)).fetchone()
+        payload = json.loads(row["payload"]) if row is not None else {}
+        payload.update(updates)
+        for name, delta in (increments or {}).items():
+            payload[name] = int(payload.get(name, 0)) + int(delta)
+        text = json.dumps(payload, sort_keys=True)
+        conn.execute("INSERT OR REPLACE INTO telemetry VALUES (?, ?, ?)",
+                     (worker, text, _row_sha(worker, text)))
+
+    def telemetry(self) -> Dict[str, dict]:
+        """All per-worker telemetry rows (empty for un-migrated stores)."""
+        try:
+            rows = self._read("telemetry").execute(
+                "SELECT worker, payload FROM telemetry ORDER BY worker"
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return {}                  # store predates the telemetry table
+        return {row["worker"]: json.loads(row["payload"]) for row in rows}
+
     # -- integrity ------------------------------------------------------------
 
     def verify(self) -> List[str]:
@@ -320,7 +381,11 @@ class CampaignStore:
         problems: List[str] = []
         conn = self._read("verify")
         for table, key_cols, payload in _CHECKED:
-            for row in conn.execute(f"SELECT * FROM {table}"):
+            try:
+                rows = conn.execute(f"SELECT * FROM {table}").fetchall()
+            except sqlite3.OperationalError:
+                continue               # read-only view of an older store
+            for row in rows:
                 key = ", ".join(str(row[col]) for col in key_cols)
                 try:
                     ok = row["sha"] == _row_sha(*payload(row))

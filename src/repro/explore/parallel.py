@@ -425,6 +425,10 @@ def parallel_explore_class(monitor: Monitor, coop_class: type, programs,
                 _run_shard, jobs, store, batch=f"explore/{batch_key}",
                 config=distrib or DistribConfig(store_path=str(store.path)),
                 workers=min(max(workers, 1), len(jobs)))
+            # The store's transactional counters are the authoritative
+            # cross-process aggregate; mirror them so the session registry
+            # (observe() snapshots, the exporter) shares one namespace.
+            obs.mirror_store_counters(store.counters())
         else:
             config = supervisor or SupervisorConfig()
             config = dataclasses.replace(config, workers=len(jobs))

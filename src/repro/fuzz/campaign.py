@@ -53,6 +53,7 @@ failing.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -594,6 +595,12 @@ def run_campaign(config: FuzzConfig,
                 dstore.set_frontier("fuzz/checkpoint", record, conn=conn)
                 dstore.merge_coverage(record["coverage"], conn=conn)
                 dstore.index_entries(record["entry_records"], conn=conn)
+                dstore.record_telemetry(
+                    f"driver-{os.getpid()}",
+                    {"last_heartbeat": time.time(), "role": "driver",
+                     "round_index": round_index,
+                     "schedules_run": result.schedules_run,
+                     "corpus_entries": len(entries)}, conn=conn)
 
     # -- bootstrap ------------------------------------------------------------
     rounds_this_run = rounds_restored
@@ -717,6 +724,10 @@ def run_campaign(config: FuzzConfig,
         })
     if dstore is not None:
         result.distrib = dstore.counters()
+        # The store's transactional aggregates are authoritative: mirror
+        # them into the session registry so one namespace serves observe()
+        # snapshots, reports and the exporter.
+        obs.mirror_store_counters(result.distrib)
         # Close the liveness window so cooperating helpers drain and exit;
         # a *crashed* driver instead lets it lapse, keeping helpers around
         # long enough for a resumed driver to take over.

@@ -62,6 +62,7 @@ __all__ = [
     "active_profiler",
     "chrome_events",
     "formula_fingerprint",
+    "mirror_store_counters",
     "observe",
     "phase_attribution",
     "registry",
@@ -149,4 +150,21 @@ def record_exploration(result: object,
     for field_name, metric in EXPLORATION_METRIC_NAMES.items():
         target.inc(metric, int(getattr(result, field_name, 0) or 0))
     target.inc("explore.failures", len(getattr(result, "failures", ()) or ()))
+    return target
+
+
+def mirror_store_counters(counters: Dict[str, int],
+                          into: Optional[MetricsRegistry] = None,
+                          ) -> MetricsRegistry:
+    """Mirror a campaign store's transactional counters into a registry.
+
+    The store's ``distrib.*`` aggregates are authoritative across every
+    cooperating process, so this *overwrites* (``set_counter``) whatever
+    partial view this process accumulated locally under the same dotted
+    names — after the mirror, ``observe()`` snapshots, ``expresso
+    profile`` and the OpenMetrics exporter all read one namespace.
+    """
+    target = into if into is not None else registry()
+    for name in sorted(counters):
+        target.set_counter(name, int(counters[name]))
     return target

@@ -1,0 +1,354 @@
+"""Self-contained run reports: markdown + HTML + an OpenMetrics textfile.
+
+``expresso report`` folds whatever artifacts a run left behind — a shared
+campaign store (``--store``), ``expresso profile --json`` output
+(``--profile``), and any number of Chrome-trace recordings (``--trace``) —
+into one report model, rendered three ways:
+
+* ``report.md`` — the markdown summary (phase timings, hot SMT queries,
+  unit/worker status, coverage axes, findings, fault/degradation counters);
+* ``report.html`` — the same content as a dependency-free, inline-styled
+  HTML page (the nightly-CI artifact a human actually opens);
+* ``metrics.prom`` — every counter as an OpenMetrics/Prometheus textfile
+  (node-exporter textfile-collector compatible), so a scrape target can
+  export campaign progress without parsing JSON.
+
+All three are written atomically (:func:`repro.resilience.atomic.
+atomic_write_text`): a report generated *while* a campaign is running never
+leaves a torn file next to the campaign's own artifacts.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.resilience.atomic import atomic_write_text
+
+#: Counter-name fragments surfaced in the "faults & degradation" section.
+_FAULT_FRAGMENTS = ("fault", "degrad", "timeout", "unknown", "quarantined",
+                    "expired", "stolen", "failed")
+
+
+def build_report(snapshot: Optional[Dict[str, Any]] = None,
+                 profile: Optional[Dict[str, Any]] = None,
+                 traces: Optional[Sequence[Dict[str, Any]]] = None,
+                 trace_labels: Optional[Sequence[str]] = None,
+                 title: str = "expresso run report") -> Dict[str, Any]:
+    """Fold the run's artifacts into one deterministic report model.
+
+    *snapshot* is a :func:`repro.obs.console.store_snapshot`, *profile* a
+    parsed ``expresso profile --json`` document, *traces* parsed
+    Chrome-trace documents.  Every input is optional; sections without
+    data are simply absent.
+    """
+    metrics: Dict[str, int] = {}
+    for source in ([(snapshot or {}).get("counters") or {}]
+                   + [((trace or {}).get("otherData") or {}).get("metrics")
+                      or {} for trace in (traces or ())]
+                   + [(profile or {}).get("metrics") or {}]):
+        for name in sorted(source):
+            metrics[name] = max(metrics.get(name, 0), int(source[name]))
+
+    model: Dict[str, Any] = {"title": title, "metrics": metrics}
+    if snapshot is not None:
+        model["store"] = {
+            "path": snapshot["store"],
+            "units": snapshot["units"],
+            "workers": snapshot["workers"],
+            "coverage": snapshot["coverage"],
+            "corpus_entries": snapshot["corpus_entries"],
+            "checkpoint": snapshot["checkpoint"],
+            "warnings": list(snapshot["warnings"]),
+        }
+    if profile is not None:
+        model["phases"] = {name: dict(agg) for name, agg in
+                           sorted((profile.get("phases") or {}).items())}
+        model["hot_queries"] = list(profile.get("top") or ())
+        model["solver"] = {
+            "queries": profile.get("queries"),
+            "solver_seconds": profile.get("solver_seconds"),
+            "wall_seconds": profile.get("wall_seconds"),
+        }
+    if traces:
+        labels = list(trace_labels or
+                      [f"trace {index}" for index in range(len(traces))])
+        spans: Dict[str, int] = {}
+        for trace in traces:
+            for event in trace.get("traceEvents") or ():
+                if event.get("ph") == "B":
+                    name = str(event.get("name"))
+                    spans[name] = spans.get(name, 0) + 1
+        model["traces"] = {
+            "sources": labels,
+            "events": sum(len(trace.get("traceEvents") or ())
+                          for trace in traces),
+            "spans": {name: spans[name] for name in sorted(spans)},
+        }
+    model["faults"] = {
+        name: value for name, value in sorted(metrics.items())
+        if any(fragment in name for fragment in _FAULT_FRAGMENTS) and value}
+    return model
+
+
+# ---------------------------------------------------------------------------
+# markdown
+# ---------------------------------------------------------------------------
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    lines.extend("| " + " | ".join(str(cell) for cell in row) + " |"
+                 for row in rows)
+    return lines
+
+
+def render_markdown(model: Dict[str, Any]) -> str:
+    lines = [f"# {model['title']}", ""]
+    store = model.get("store")
+    if store:
+        units = store["units"]
+        lines += [f"## Campaign store — `{store['path']}`", "",
+                  f"Units: **{units['done']}/{units['total']} done** — "
+                  f"{units['pending']} pending, {units['leased']} leased, "
+                  f"{units['quarantined']} quarantined.  Corpus "
+                  f"{store['corpus_entries']} entries; coverage "
+                  f"{store['coverage']['features']} features over "
+                  f"{len(store['coverage']['axes'])} axes.", ""]
+        if store["checkpoint"]:
+            ckpt = store["checkpoint"]
+            lines += [f"Checkpoint: round {ckpt['round_index']}, "
+                      f"{ckpt['schedules_run']} schedules, "
+                      f"{ckpt['findings']} finding(s).", ""]
+        if store["workers"]:
+            rows = [(name, entry["role"], entry["health"],
+                     entry["heartbeat_age"], entry.get("claims", 0),
+                     entry.get("completed", 0))
+                    for name, entry in store["workers"].items()]
+            lines += _md_table(("worker", "role", "health", "heartbeat age",
+                                "claims", "completed"), rows) + [""]
+        for warning in store["warnings"]:
+            lines.append(f"> **Warning:** {warning}")
+        if store["warnings"]:
+            lines.append("")
+        if store["coverage"]["axes"]:
+            lines += ["### Coverage axes", ""]
+            lines += _md_table(("axis", "features"),
+                               sorted(store["coverage"]["axes"].items()))
+            lines.append("")
+    phases = model.get("phases")
+    if phases:
+        lines += ["## Phase timings", ""]
+        rows = [(name, agg["count"], f"{agg['seconds']:.3f}",
+                 f"{agg['self_seconds']:.3f}")
+                for name, agg in sorted(phases.items(),
+                                        key=lambda item: -item[1]["seconds"])]
+        lines += _md_table(("phase", "count", "seconds", "self seconds"),
+                           rows) + [""]
+    hot = model.get("hot_queries")
+    if hot:
+        lines += ["## Hot SMT queries", ""]
+        rows = [(entry.get("fingerprint", "?")[:12],
+                 entry.get("count", entry.get("queries", "?")),
+                 f"{entry.get('seconds', 0.0):.4f}",
+                 entry.get("phase", entry.get("caller", "")))
+                for entry in hot]
+        lines += _md_table(("formula", "queries", "seconds", "phase"),
+                           rows) + [""]
+    traces = model.get("traces")
+    if traces:
+        lines += ["## Traces", "",
+                  f"{traces['events']} events from "
+                  f"{len(traces['sources'])} recording(s): "
+                  + ", ".join(f"`{source}`" for source in traces["sources"]),
+                  ""]
+    if model.get("faults"):
+        lines += ["## Faults & degradation", ""]
+        lines += _md_table(("counter", "value"),
+                           sorted(model["faults"].items())) + [""]
+    if model.get("metrics"):
+        lines += ["## Counters", ""]
+        lines += _md_table(("counter", "value"),
+                           sorted(model["metrics"].items())) + [""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML (self-contained; the nightly-CI artifact)
+# ---------------------------------------------------------------------------
+
+_CSS = (
+    "body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;"
+    "color:#1a202c}h1{border-bottom:2px solid #2b6cb0}h2{color:#2b6cb0}"
+    "table{border-collapse:collapse;margin:1rem 0}"
+    "td,th{border:1px solid #cbd5e0;padding:.3rem .7rem;text-align:left}"
+    "th{background:#ebf4ff}.warn{background:#fffbea;border-left:4px solid "
+    "#d69e2e;padding:.5rem .8rem;margin:.5rem 0}"
+    ".health-live{color:#2f855a;font-weight:600}"
+    ".health-expired{color:#b7791f;font-weight:600}"
+    ".health-dead{color:#c53030;font-weight:600}"
+)
+
+
+def _html_table(headers: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> List[str]:
+    out = ["<table>", "<tr>" + "".join(f"<th>{_html.escape(str(cell))}</th>"
+                                       for cell in headers) + "</tr>"]
+    for row in rows:
+        cells = []
+        for cell in row:
+            text = _html.escape(str(cell))
+            if text in ("live", "expired", "dead"):
+                cells.append(f'<td class="health-{text}">{text}</td>')
+            else:
+                cells.append(f"<td>{text}</td>")
+        out.append("<tr>" + "".join(cells) + "</tr>")
+    out.append("</table>")
+    return out
+
+
+def render_html(model: Dict[str, Any]) -> str:
+    title = _html.escape(model["title"])
+    body: List[str] = [f"<h1>{title}</h1>"]
+    store = model.get("store")
+    if store:
+        units = store["units"]
+        body.append(f"<h2>Campaign store — "
+                    f"<code>{_html.escape(store['path'])}</code></h2>")
+        body.append(f"<p>Units: <b>{units['done']}/{units['total']} done</b>"
+                    f" — {units['pending']} pending, {units['leased']} "
+                    f"leased, {units['quarantined']} quarantined. Corpus "
+                    f"{store['corpus_entries']} entries; coverage "
+                    f"{store['coverage']['features']} features over "
+                    f"{len(store['coverage']['axes'])} axes.</p>")
+        if store["checkpoint"]:
+            ckpt = store["checkpoint"]
+            body.append(f"<p>Checkpoint: round {ckpt['round_index']}, "
+                        f"{ckpt['schedules_run']} schedules, "
+                        f"{ckpt['findings']} finding(s).</p>")
+        for warning in store["warnings"]:
+            body.append(f'<div class="warn">{_html.escape(warning)}</div>')
+        if store["workers"]:
+            body += _html_table(
+                ("worker", "role", "health", "heartbeat age", "claims",
+                 "completed"),
+                [(name, entry["role"], entry["health"],
+                  entry["heartbeat_age"], entry.get("claims", 0),
+                  entry.get("completed", 0))
+                 for name, entry in store["workers"].items()])
+        if store["coverage"]["axes"]:
+            body.append("<h2>Coverage axes</h2>")
+            body += _html_table(("axis", "features"),
+                                sorted(store["coverage"]["axes"].items()))
+    phases = model.get("phases")
+    if phases:
+        body.append("<h2>Phase timings</h2>")
+        body += _html_table(
+            ("phase", "count", "seconds", "self seconds"),
+            [(name, agg["count"], f"{agg['seconds']:.3f}",
+              f"{agg['self_seconds']:.3f}")
+             for name, agg in sorted(phases.items(),
+                                     key=lambda item: -item[1]["seconds"])])
+    hot = model.get("hot_queries")
+    if hot:
+        body.append("<h2>Hot SMT queries</h2>")
+        body += _html_table(
+            ("formula", "queries", "seconds", "phase"),
+            [(entry.get("fingerprint", "?")[:12],
+              entry.get("count", entry.get("queries", "?")),
+              f"{entry.get('seconds', 0.0):.4f}",
+              entry.get("phase", entry.get("caller", ""))) for entry in hot])
+    traces = model.get("traces")
+    if traces:
+        body.append("<h2>Traces</h2>")
+        body.append(f"<p>{traces['events']} events from "
+                    f"{len(traces['sources'])} recording(s): "
+                    + ", ".join(f"<code>{_html.escape(str(source))}</code>"
+                                for source in traces["sources"]) + "</p>")
+    if model.get("faults"):
+        body.append("<h2>Faults &amp; degradation</h2>")
+        body += _html_table(("counter", "value"),
+                            sorted(model["faults"].items()))
+    if model.get("metrics"):
+        body.append("<h2>Counters</h2>")
+        body += _html_table(("counter", "value"),
+                            sorted(model["metrics"].items()))
+    return ("<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+            f"<title>{title}</title><style>{_CSS}</style></head>\n<body>\n"
+            + "\n".join(body) + "\n</body></html>\n")
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics / Prometheus textfile exporter
+# ---------------------------------------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    return "expresso_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def render_openmetrics(counters: Dict[str, int],
+                       gauges: Optional[Dict[str, float]] = None) -> str:
+    """Counters/gauges as an OpenMetrics textfile (``# EOF``-terminated)."""
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(counters[name])}")
+    for name in sorted(gauges or {}):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        value = gauges[name]
+        lines.append(f"{metric} {value if value is not None else 0}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_gauges(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """The store-status gauges exported next to the counters."""
+    units = snapshot["units"]
+    healths = [entry["health"] for entry in snapshot["workers"].values()]
+    gauges = {f"units.{state}": float(units[state])
+              for state in ("pending", "leased", "done", "quarantined")}
+    gauges["coverage.features"] = float(snapshot["coverage"]["features"])
+    gauges["corpus.entries"] = float(snapshot["corpus_entries"])
+    for kind in ("live", "expired", "dead"):
+        gauges[f"workers.{kind}"] = float(healths.count(kind))
+    return gauges
+
+
+# ---------------------------------------------------------------------------
+# writing (atomic: never a torn report next to live campaign artifacts)
+# ---------------------------------------------------------------------------
+
+
+def write_report(out_dir, model: Dict[str, Any],
+                 gauges: Optional[Dict[str, float]] = None) -> Dict[str, str]:
+    """Write ``report.md``/``report.html``/``metrics.prom`` under *out_dir*.
+
+    Returns the paths written.  Every file goes through
+    :func:`~repro.resilience.atomic.atomic_write_text` (tmp + fsync +
+    rename).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "markdown": out / "report.md",
+        "html": out / "report.html",
+        "openmetrics": out / "metrics.prom",
+    }
+    atomic_write_text(paths["markdown"], render_markdown(model))
+    atomic_write_text(paths["html"], render_html(model))
+    atomic_write_text(paths["openmetrics"],
+                      render_openmetrics(model.get("metrics") or {}, gauges))
+    return {kind: str(path) for kind, path in paths.items()}
+
+
+def load_json(path) -> Dict[str, Any]:
+    """Load one JSON artifact (trace document or profile output)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,147 @@
+"""Cross-process trace stitching: one timeline from driver + helpers.
+
+A multi-process campaign leaves one Chrome-trace recording per invocation
+(the driver's ``--trace``, each helper's ``--trace``); each file is
+internally ordered but carries no global clock — deterministic exports use
+per-file logical sequence numbers as ``ts``.  :func:`stitch_traces` merges
+them into one Perfetto-loadable timeline:
+
+* **pid** — one per input file, announced by an ``"M"`` ``process_name``
+  metadata event, so the driver and every helper get their own process
+  lane group;
+* **tid** — a per-unit lane *within* each process: events inside a span
+  tagged ``args.unit``/``args.entry`` (the helper's ``distrib.unit`` spans,
+  the fuzz driver's per-candidate spans) land on a lane named after that
+  unit, numbered in first-seen order (lane 0 is the process's main lane);
+* **ts** — a merged logical clock: events are stably ordered by
+  ``(local_ts, file_index, local_index)`` and re-numbered globally, so
+  the merge is deterministic and per-lane B/E nesting is preserved;
+* ``otherData.metrics`` — the per-file counter snapshots summed, and
+  ``otherData.stitched: true`` marking the document for
+  :mod:`repro.obs.validate`'s stitched-trace checks.
+
+The output passes :func:`repro.obs.validate.validate_trace` (extended with
+metadata-event checks) and is byte-deterministic for fixed inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Span-arg keys that open a dedicated per-unit lane.
+_LANE_KEYS = ("unit", "entry")
+
+
+def _lane_key(event: Dict[str, object]) -> Optional[str]:
+    args = event.get("args")
+    if isinstance(args, dict):
+        for key in _LANE_KEYS:
+            value = args.get(key)
+            if isinstance(value, str) and value:
+                return value
+    return None
+
+
+def stitch_traces(documents: Sequence[Dict[str, object]],
+                  labels: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    """Merge Chrome-trace *documents* into one pid/unit-keyed timeline."""
+    labels = list(labels or
+                  [f"process-{index}" for index in range(len(documents))])
+    if len(labels) != len(documents):
+        raise ValueError(f"{len(documents)} document(s) but "
+                         f"{len(labels)} label(s)")
+
+    # Collect every event with its stable merge key.  Input ``ts`` values
+    # are per-file logical clocks; the triple keeps intra-file order (ts
+    # rises with index) and breaks cross-file ties by file order.
+    keyed: List[Tuple[float, int, int, Dict[str, object]]] = []
+    for file_index, document in enumerate(documents):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError(f"{labels[file_index]}: missing traceEvents")
+        for local_index, event in enumerate(events):
+            keyed.append((float(event.get("ts", local_index)), file_index,
+                          local_index, event))
+    keyed.sort(key=lambda item: item[:3])
+
+    merged: List[Dict[str, object]] = []
+    for pid, label in enumerate(labels):
+        merged.append({"ph": "M", "name": "process_name", "cat": "__metadata",
+                       "ts": 0, "pid": pid, "tid": 0,
+                       "args": {"name": str(label)}})
+
+    # Per-process lane state: open-span stacks carrying the lane each span
+    # landed on, plus the unit -> lane interning table (0 = main lane).
+    stacks: Dict[int, List[Tuple[str, int]]] = {}
+    lanes: Dict[int, Dict[str, int]] = {}
+    lane_names: List[Tuple[int, int, str]] = []
+    seq = len(merged)
+    for _ts, file_index, _local_index, event in keyed:
+        pid = file_index
+        stack = stacks.setdefault(pid, [])
+        interned = lanes.setdefault(pid, {})
+        ph = event.get("ph")
+        if ph == "B":
+            lane = stack[-1][1] if stack else 0
+            unit = _lane_key(event)
+            if unit is not None:
+                if unit not in interned:
+                    interned[unit] = len(interned) + 1
+                    lane_names.append((pid, interned[unit], unit))
+                lane = interned[unit]
+            stack.append((str(event.get("name")), lane))
+        elif ph == "E" and stack:
+            lane = stack[-1][1]
+            stack.pop()
+        else:
+            lane = stack[-1][1] if stack else 0
+        merged.append({
+            "ph": ph, "name": event.get("name"), "cat": event.get("cat"),
+            "ts": seq, "pid": pid, "tid": lane,
+            "args": event.get("args") or {},
+        })
+        seq += 1
+    for pid, lane, unit in lane_names:
+        merged.append({"ph": "M", "name": "thread_name", "cat": "__metadata",
+                       "ts": 0, "pid": pid, "tid": lane,
+                       "args": {"name": unit}})
+
+    metrics: Dict[str, int] = {}
+    for document in documents:
+        other = document.get("otherData")
+        doc_metrics = other.get("metrics") if isinstance(other, dict) else None
+        for name, value in sorted((doc_metrics or {}).items()):
+            metrics[name] = metrics.get(name, 0) + int(value)
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "deterministic": True,
+            "stitched": True,
+            "sources": [str(label) for label in labels],
+            "metrics": {name: metrics[name] for name in sorted(metrics)},
+        },
+    }
+
+
+def stitch_files(paths: Sequence[str],
+                 labels: Optional[Sequence[str]] = None) -> Dict[str, object]:
+    """Load trace files and stitch them (labels default to file stems)."""
+    documents = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            documents.append(json.load(handle))
+    return stitch_traces(
+        documents, labels=list(labels) if labels else
+        [Path(path).stem for path in paths])
+
+
+def write_stitched(path, document: Dict[str, object]) -> None:
+    """Serialize a stitched document byte-stably (same shape write_trace
+    uses: sorted keys, compact separators, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True,
+                  separators=(",", ":"), ensure_ascii=True)
+        handle.write("\n")

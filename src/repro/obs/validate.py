@@ -10,7 +10,12 @@ Checks (the object-format subset of the trace-event spec we emit):
 * every event has ``name``/``cat`` strings, a known ``ph``, numeric ``ts``,
   integer ``pid``/``tid``, and an object ``args``;
 * B/E events balance per (pid, tid) with matching names (LIFO nesting);
-* every ``prune``-named event carries exactly one ``provenance`` arg.
+* every ``prune``-named event carries exactly one ``provenance`` arg;
+* ``M`` metadata events are ``process_name``/``thread_name`` and carry a
+  string ``args.name``;
+* a **stitched** document (``otherData.stitched``, see
+  :mod:`repro.obs.stitch`) must announce a ``process_name`` for every
+  distinct pid its events use — that is what keys the merged timeline.
 """
 
 from __future__ import annotations
@@ -27,6 +32,9 @@ PROVENANCE_TAGS = frozenset({
     "sleep_set", "backtrack", "symmetry", "merge", "shared_store", "visited",
 })
 
+#: Metadata-event names this repo emits (the stitcher's lane labels).
+_METADATA_NAMES = frozenset({"process_name", "thread_name"})
+
 
 def validate_trace(document: object) -> List[str]:
     """Return a list of schema violations (empty = valid)."""
@@ -36,6 +44,10 @@ def validate_trace(document: object) -> List[str]:
     events = document.get("traceEvents")
     if not isinstance(events, list):
         return ["missing 'traceEvents' array"]
+    other = document.get("otherData")
+    stitched = isinstance(other, dict) and bool(other.get("stitched"))
+    named_pids: set = set()
+    used_pids: set = set()
     stacks: Dict[Tuple[object, object], List[str]] = {}
     for index, event in enumerate(events):
         where = f"event[{index}]"
@@ -59,6 +71,19 @@ def validate_trace(document: object) -> List[str]:
         if not isinstance(args, dict):
             errors.append(f"{where}: 'args' must be an object")
             args = {}
+        if ph == "M":
+            # Metadata events label lanes; they never open/close spans.
+            name = event.get("name")
+            if name not in _METADATA_NAMES:
+                errors.append(f"{where}: metadata name {name!r} not in "
+                              f"{sorted(_METADATA_NAMES)}")
+            if not isinstance(args.get("name"), str):
+                errors.append(f"{where}: metadata event needs a string "
+                              f"'args.name'")
+            elif name == "process_name":
+                named_pids.add(event.get("pid"))
+            continue
+        used_pids.add(event.get("pid"))
         lane = (event.get("pid"), event.get("tid"))
         stack = stacks.setdefault(lane, [])
         if ph == "B":
@@ -81,6 +106,10 @@ def validate_trace(document: object) -> List[str]:
         if stack:
             errors.append(f"lane {lane}: {len(stack)} unclosed span(s): "
                           f"{stack[-1]!r}")
+    if stitched:
+        for pid in sorted(used_pids - named_pids, key=repr):
+            errors.append(f"stitched document: pid {pid} has events but no "
+                          f"'process_name' metadata")
     return errors
 
 
